@@ -1,0 +1,204 @@
+// Package colony_test hosts the repository-level benchmark harness: one
+// testing.B benchmark per figure and headline claim of the paper's
+// evaluation (§7), plus the ablation benches for the design choices called
+// out in DESIGN.md. The benches run reduced configurations so that
+// `go test -bench=. -benchmem` completes in minutes; cmd/colony-bench runs
+// the full sweeps.
+//
+// Reported custom metrics:
+//
+//	tput(model-txn/s)  committed transactions per second of model time
+//	lat-mean(model-ms) mean response time in model milliseconds
+//	…and per-bench metrics documented on each benchmark.
+package colony_test
+
+import (
+	"testing"
+	"time"
+
+	"colony/internal/bench"
+	"colony/internal/chat"
+)
+
+// benchScale accelerates the modelled network for all benches.
+const benchScale = 0.05
+
+// runFig4Point measures one Figure 4 configuration.
+func runFig4Point(b *testing.B, mode bench.Mode, dcs, clients int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RunFig4(bench.Fig4Config{
+			Modes:            []bench.Mode{mode},
+			DCCounts:         []int{dcs},
+			ClientCounts:     []int{clients},
+			ActionsPerClient: 10,
+			Scale:            benchScale,
+			Seed:             42,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pts[0]
+		b.ReportMetric(p.ThroughputTx, "tput(model-txn/s)")
+		b.ReportMetric(p.Latency.MeanMs, "lat-mean(model-ms)")
+		b.ReportMetric(100*(p.Hits.Cache+p.Hits.Group), "hit%")
+	}
+}
+
+// BenchmarkFig4Antidote1DC etc. are the six curves of Figure 4 at a fixed
+// mid-range load (32 clients).
+func BenchmarkFig4Antidote1DC(b *testing.B) { runFig4Point(b, bench.ModeAntidote, 1, 32) }
+
+// BenchmarkFig4Antidote3DC is the 3-DC AntidoteDB configuration.
+func BenchmarkFig4Antidote3DC(b *testing.B) { runFig4Point(b, bench.ModeAntidote, 3, 32) }
+
+// BenchmarkFig4SwiftCloud1DC is the 1-DC SwiftCloud configuration.
+func BenchmarkFig4SwiftCloud1DC(b *testing.B) { runFig4Point(b, bench.ModeSwiftCloud, 1, 32) }
+
+// BenchmarkFig4SwiftCloud3DC is the 3-DC SwiftCloud configuration.
+func BenchmarkFig4SwiftCloud3DC(b *testing.B) { runFig4Point(b, bench.ModeSwiftCloud, 3, 32) }
+
+// BenchmarkFig4Colony1DC is the 1-DC Colony configuration.
+func BenchmarkFig4Colony1DC(b *testing.B) { runFig4Point(b, bench.ModeColony, 1, 32) }
+
+// BenchmarkFig4Colony3DC is the 3-DC Colony configuration.
+func BenchmarkFig4Colony3DC(b *testing.B) { runFig4Point(b, bench.ModeColony, 3, 32) }
+
+// timelineCfg is the reduced Figures 5–7 setting.
+func timelineCfg(seed int64) bench.TimelineConfig {
+	return bench.TimelineConfig{
+		Users: 12, GroupSize: 6,
+		Duration: 14 * time.Second, FirstEvent: 5 * time.Second, SecondEvent: 9 * time.Second,
+		ActionsPerSecond: 3, Scale: benchScale, Seed: seed,
+	}
+}
+
+// BenchmarkFig5Offline measures the DC-disconnection run; the offline-ratio
+// metric is the paper's "performance in offline mode remains the same"
+// claim (≈1.0).
+func BenchmarkFig5Offline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig5(timelineCfg(5), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := bench.DeriveClaims(nil, res)
+		b.ReportMetric(c.OfflineLatencyRatio, "offline-ratio")
+		b.ReportMetric(float64(len(res.Samples)), "samples")
+	}
+}
+
+// BenchmarkFig6PeerDisconnect measures the member-disconnection run,
+// reporting the disconnected user's offline progress.
+func BenchmarkFig6PeerDisconnect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig6(timelineCfg(6), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offline := 0
+		for _, s := range res.Samples {
+			if s.User == res.FocusUsers[0] && s.At >= res.Disconnect && s.At < res.Reconnect {
+				offline++
+			}
+		}
+		b.ReportMetric(float64(offline), "offline-txns")
+	}
+}
+
+// BenchmarkFig7Migration measures group-join synchronisation: the joining
+// client's mean latency in model ms (paper: below 12 ms, versus ~82 ms for
+// a DC reconnect).
+func BenchmarkFig7Migration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7(timelineCfg(7), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var joiner []bench.Sample
+		for _, s := range res.Samples {
+			if s.User == res.FocusUsers[0] {
+				joiner = append(joiner, s)
+			}
+		}
+		st := bench.Stats(joiner)
+		b.ReportMetric(st.MeanMs, "join-lat(model-ms)")
+		b.ReportMetric(st.P99Ms, "join-p99(model-ms)")
+	}
+}
+
+// BenchmarkAblationKStability sweeps K (§3.8): edge visibility lag per K.
+func BenchmarkAblationKStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationKStability([]int{1, 2, 3}, 10, benchScale, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.VisibilityLag.MedianMs, "k"+itoa(r.K)+"-lag(model-ms)")
+		}
+	}
+}
+
+// BenchmarkAblationCommitVariant compares the §5.1.4 commit variants.
+func BenchmarkAblationCommitVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationCommitVariant(4, 20, benchScale, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.Commit.MedianMs, r.Variant+"-commit(model-ms)")
+		}
+	}
+}
+
+// BenchmarkAblationGroupSize probes collaborative-cache cost vs group size.
+func BenchmarkAblationGroupSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationGroupSize([]int{2, 8}, 8, benchScale, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.GroupFetch.MedianMs, "size"+itoa(r.Size)+"-fetch(model-ms)")
+		}
+	}
+}
+
+// BenchmarkAblationCacheSize probes LRU hit rate vs capacity.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationCacheSize([]int{4, 16}, 80, benchScale, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(100*r.HitRate, "limit"+itoa(r.Limit)+"-hit%")
+		}
+	}
+}
+
+// BenchmarkTraceGeneration is a micro-benchmark of the workload generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := chat.DefaultTraceConfig(1.0, 10000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chat.Generate(cfg)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

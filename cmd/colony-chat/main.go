@@ -1,0 +1,201 @@
+// Command colony-chat is an interactive ColonyChat client: it boots a
+// Colony deployment with a peer group, a simulated teammate and a reactive
+// bot, and drops you into a tiny REPL where you can chat, go offline, come
+// back, and migrate between DCs — watching consistency, availability and
+// convergence behave as the paper promises.
+//
+//	colony-chat
+//	> post hello team
+//	> read
+//	> offline
+//	> post drafted while offline
+//	> online
+//	> read
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"colony/internal/chat"
+	"colony/internal/core"
+	"colony/internal/group"
+)
+
+const (
+	workspace = "ws0"
+	channel   = "general"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "colony-chat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("colony-chat", flag.ContinueOnError)
+	var (
+		user  = fs.String("user", "you", "your user name")
+		scale = fs.Float64("scale", 0.1, "latency scale")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		DCs: 3, K: 2, Profile: core.PaperProfile(), Scale: *scale,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	parent := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop0", DC: cluster.DCName(0)})
+	defer parent.Close()
+	if err := parent.Connect(); err != nil {
+		return err
+	}
+
+	mk := func(name string) (*chat.EdgeClient, error) {
+		conn, err := cluster.Connect(core.ConnectOptions{Name: name + "-device", User: name})
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.JoinGroup("pop0", group.VariantAsync); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		ec := chat.NewEdgeClient(conn)
+		if err := ec.Prefetch(workspace, channel); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if err := ec.JoinWorkspace(workspace); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return ec, nil
+	}
+
+	me, err := mk(*user)
+	if err != nil {
+		return err
+	}
+	defer me.Conn().Close()
+	teammate, err := mk("sam")
+	if err != nil {
+		return err
+	}
+	defer teammate.Conn().Close()
+	botClient, err := mk("echobot")
+	if err != nil {
+		return err
+	}
+	defer botClient.Conn().Close()
+	_ = chat.NewBot(botClient, workspace, channel, 0.5, time.Now().UnixNano())
+
+	// The simulated teammate chimes in occasionally.
+	stopSam := make(chan struct{})
+	samDone := make(chan struct{})
+	go func() {
+		defer close(samDone)
+		ticker := time.NewTicker(7 * time.Second)
+		defer ticker.Stop()
+		i := 0
+		for {
+			select {
+			case <-ticker.C:
+				i++
+				_ = teammate.Post(workspace, channel, fmt.Sprintf("status update #%d", i))
+			case <-stopSam:
+				return
+			}
+		}
+	}()
+	defer func() { close(stopSam); <-samDone }()
+
+	fmt.Printf("connected as %s — workspace %s, channel #%s (peer group pop0)\n", *user, workspace, channel)
+	fmt.Println("commands: post <text> | read | offline | online | migrate <dc#> | stats | quit")
+
+	offline := false
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "", "#":
+		case "post":
+			if err := me.Post(workspace, channel, rest); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("committed locally" + offlineSuffix(offline))
+		case "read":
+			msgs, src, err := me.ReadChannel(workspace, channel)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("#%s (%d messages, %s hit):\n", channel, len(msgs), src)
+			start := 0
+			if len(msgs) > 10 {
+				start = len(msgs) - 10
+				fmt.Printf("  … %d earlier messages\n", start)
+			}
+			for _, m := range msgs[start:] {
+				fmt.Printf("  <%s> %s\n", m.Author, m.Text)
+			}
+		case "offline":
+			cluster.Network().Isolate(me.Conn().Name())
+			offline = true
+			fmt.Println("device isolated — reads and commits stay available locally")
+		case "online":
+			cluster.Network().Rejoin(me.Conn().Name())
+			offline = false
+			fmt.Println("device reconnected — the pipeline drains and pushes resume")
+		case "migrate":
+			var dcIdx int
+			if _, err := fmt.Sscanf(rest, "%d", &dcIdx); err != nil || dcIdx < 0 || dcIdx >= cluster.NumDCs() {
+				fmt.Printf("usage: migrate <0..%d>\n", cluster.NumDCs()-1)
+				continue
+			}
+			if err := me.Conn().LeaveGroup(dcIdx); err != nil && err != core.ErrNotInGroup {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := me.Conn().MigrateDC(dcIdx); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("migrated to %s (left the peer group)\n", cluster.DCName(dcIdx))
+		case "stats":
+			st := me.Conn().Node().Stats()
+			fmt.Printf("reads=%d cache=%d group=%d dc=%d | committed=%d acked=%d unacked=%d\n",
+				st.Reads, st.CacheHits, st.GroupHits, st.DCFetches,
+				st.TxCommitted, st.TxAcked, me.Conn().Node().UnackedCount())
+			fmt.Printf("state=%v stable=%v\n", me.Conn().State(), me.Conn().Node().StableVector())
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Println("commands: post <text> | read | offline | online | migrate <dc#> | stats | quit")
+		}
+	}
+}
+
+func offlineSuffix(offline bool) string {
+	if offline {
+		return " (offline — will sync on reconnect)"
+	}
+	return ""
+}

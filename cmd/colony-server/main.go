@@ -1,0 +1,97 @@
+// Command colony-server hosts a Colony deployment — a mesh of core-cloud
+// DCs with optional peer-group parents (PoPs) — on the simulated network,
+// and reports its state periodically until interrupted. It is the
+// stand-alone "infrastructure side" used when poking at the system manually;
+// the paper's real deployment maps each of these components to a Docker
+// container (§7.2).
+//
+//	colony-server -dcs 3 -k 2 -pops 2 -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"colony/internal/core"
+	"colony/internal/group"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "colony-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("colony-server", flag.ContinueOnError)
+	var (
+		dcs    = fs.Int("dcs", 3, "number of core-cloud data centres")
+		k      = fs.Int("k", 2, "K-stability threshold for edge visibility")
+		shards = fs.Int("shards", 4, "storage servers per DC")
+		pops   = fs.Int("pops", 1, "peer-group parents (PoP servers) to host")
+		scale  = fs.Float64("scale", 0.1, "latency scale")
+		every  = fs.Duration("status", 2*time.Second, "status report period")
+		deny   = fs.Bool("deny-by-default", false, "ACL denies unlisted objects")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		DCs: *dcs, ShardsPerDC: *shards, K: *k,
+		Profile: core.PaperProfile(), Scale: *scale,
+		DenyByDefault: *deny,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	var parents []*group.Parent
+	for i := 0; i < *pops; i++ {
+		p := group.NewParent(cluster.Network(), group.ParentConfig{
+			Name: fmt.Sprintf("pop%d", i),
+			DC:   cluster.DCName(i % *dcs),
+		})
+		if err := p.Connect(); err != nil {
+			p.Close()
+			return err
+		}
+		defer p.Close()
+		parents = append(parents, p)
+	}
+
+	fmt.Printf("colony-server: %d DCs (K=%d, %d shards each), %d PoPs, scale %.2f\n",
+		*dcs, *k, *shards, *pops, *scale)
+	fmt.Println("press Ctrl-C to stop")
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			sent, delivered := cluster.Network().Stats()
+			fmt.Printf("[%s] net: %d sent / %d delivered\n",
+				time.Now().Format("15:04:05"), sent, delivered)
+			for i := 0; i < cluster.NumDCs(); i++ {
+				d := cluster.DC(i)
+				fmt.Printf("  %s: state=%v stable=%v log=%d masked=%d\n",
+					d.Name(), d.State(), d.Stable(), d.LogLen(), d.MaskedCount())
+			}
+			for _, p := range parents {
+				fmt.Printf("  %s: members=%v vislog=%d\n",
+					p.Name(), p.Members(), p.VisibilityLogLen())
+			}
+		case <-sigs:
+			fmt.Println("\nshutting down")
+			return nil
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// The chat example runs ColonyChat (the paper's benchmark application, §7.1)
+// end to end: a workspace with human users and a reactive bot, a peer group
+// with a collaborative cache, an offline/online transition, and the causal
+// guarantee that an answer is never visible before its question.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"colony/internal/chat"
+	"colony/internal/core"
+	"colony/internal/group"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		DCs: 3, K: 2, Profile: core.PaperProfile(), Scale: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	parent := group.NewParent(cluster.Network(), group.ParentConfig{Name: "team-pop", DC: cluster.DCName(0)})
+	defer parent.Close()
+	if err := parent.Connect(); err != nil {
+		return err
+	}
+
+	mk := func(name string) (*chat.EdgeClient, error) {
+		conn, err := cluster.Connect(core.ConnectOptions{Name: name, User: name})
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.JoinGroup("team-pop", group.VariantAsync); err != nil {
+			return nil, err
+		}
+		ec := chat.NewEdgeClient(conn)
+		if err := ec.Prefetch("ws0", "general"); err != nil {
+			return nil, err
+		}
+		return ec, nil
+	}
+	alice, err := mk("alice")
+	if err != nil {
+		return err
+	}
+	defer alice.Conn().Close()
+	bob, err := mk("bob")
+	if err != nil {
+		return err
+	}
+	defer bob.Conn().Close()
+	botC, err := mk("weatherbot")
+	if err != nil {
+		return err
+	}
+	defer botC.Conn().Close()
+
+	// Everyone joins the workspace: one atomic transaction keeps the
+	// "user in workspace ⇔ workspace in user profile" invariant.
+	for _, c := range []*chat.EdgeClient{alice, bob, botC} {
+		if err := c.JoinWorkspace("ws0"); err != nil {
+			return err
+		}
+	}
+
+	// The bot reacts to every message on #general (reactive API, §6.1).
+	bot := chat.NewBot(botC, "ws0", "general", 1.0, 42)
+
+	// A question and its answer: causality guarantees the order everywhere.
+	if err := alice.Post("ws0", "general", "what's the weather at the summit?"); err != nil {
+		return err
+	}
+	if err := waitForMessages(bob, 1); err != nil {
+		return err
+	}
+	if err := bob.Post("ws0", "general", "ask the bot :)"); err != nil {
+		return err
+	}
+	if err := waitForMessages(alice, 2); err != nil {
+		return err
+	}
+	msgs, src, err := alice.ReadChannel("ws0", "general")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice reads #general (%s hit):\n", src)
+	for _, m := range msgs {
+		fmt.Printf("  <%s> %s\n", m.Author, m.Text)
+	}
+	if msgs[0].Author != "alice" {
+		return fmt.Errorf("causality violated: answer before question")
+	}
+
+	// Wait for the bot's reaction to show up.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, replies := bot.Stats(); replies > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	seen, replies := bot.Stats()
+	fmt.Printf("weatherbot observed %d events and posted %d replies\n", seen, replies)
+
+	// Offline collaboration: bob loses connectivity, keeps chatting with
+	// himself (drafts), and everything merges on reconnection.
+	cluster.Network().Isolate("bob")
+	fmt.Println("bob goes offline …")
+	if err := bob.Post("ws0", "general", "draft: summit at 7am?"); err != nil {
+		return err
+	}
+	own, _, err := bob.ReadChannel("ws0", "general")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob (offline) still reads the channel from his cache: %d messages\n", len(own))
+
+	cluster.Network().Rejoin("bob")
+	fmt.Println("bob reconnects …")
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		msgs, _, err := alice.ReadChannel("ws0", "general")
+		if err == nil && containsDraft(msgs) {
+			fmt.Println("alice received bob's offline draft — convergence complete")
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("bob's offline message never arrived")
+}
+
+func waitForMessages(c *chat.EdgeClient, n int) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		msgs, _, err := c.ReadChannel("ws0", "general")
+		if err == nil && len(msgs) >= n {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("%s never saw %d messages", c.User(), n)
+}
+
+func containsDraft(msgs []chat.Message) bool {
+	for _, m := range msgs {
+		if m.Author == "bob" && m.Text == "draft: summit at 7am?" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+// The game example models the paper's location-based augmented-reality
+// scenario (§2.3, Pokémon-Go-style): players in geographical proximity form
+// a peer group — an SI zone — so that two nearby players can never both
+// capture the same character (the paper's ownership anomaly); a mobile
+// player migrates between peer groups as she moves; and end-to-end
+// encryption plus ACLs protect player inventories from the untrusted cloud
+// and from other players.
+//
+//	go run ./examples/game
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"colony/internal/acl"
+	"colony/internal/core"
+	"colony/internal/group"
+	"colony/internal/security"
+	"colony/internal/txn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		DCs: 3, K: 2, Profile: core.PaperProfile(), Scale: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Two "places" in the game world, each a peer group behind a PoP.
+	plaza := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop-plaza", DC: cluster.DCName(0)})
+	defer plaza.Close()
+	park := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop-park", DC: cluster.DCName(1)})
+	defer park.Close()
+	if err := plaza.Connect(); err != nil {
+		return err
+	}
+	if err := park.Connect(); err != nil {
+		return err
+	}
+
+	// Inventories are write-protected per player.
+	for _, player := range []string{"ana", "ben", "cho"} {
+		cluster.Policy().Grant(acl.Rule{
+			Object: txn.ObjectID{Bucket: "inventory", Key: player},
+			User:   player, Perm: acl.PermWrite,
+		})
+	}
+	cluster.RefreshVisibility()
+
+	// Ana and Ben play at the plaza; the PSI commit variant puts consensus
+	// on the critical path, so conflicting captures are ordered up front.
+	ana, err := cluster.Connect(core.ConnectOptions{Name: "phone-ana", User: "ana"})
+	if err != nil {
+		return err
+	}
+	defer ana.Close()
+	ben, err := cluster.Connect(core.ConnectOptions{Name: "phone-ben", User: "ben"})
+	if err != nil {
+		return err
+	}
+	defer ben.Close()
+	for _, p := range []*core.Connection{ana, ben} {
+		if err := p.JoinGroup("pop-plaza", group.VariantPSI); err != nil {
+			return err
+		}
+		if err := p.Prefetch("world", "pikachu"); err != nil {
+			return err
+		}
+	}
+
+	// Both try to capture the same character at the same moment. The SI
+	// zone totally orders the attempts: exactly one capture wins in the
+	// agreed order, and both players observe the same winner.
+	capture := func(p *core.Connection) error {
+		return p.Update(func(tx *core.Tx) {
+			owner, err := tx.Register("world", "pikachu").Read()
+			if err != nil {
+				tx.Counter("world", "errors").Increment(1)
+				return
+			}
+			if owner == "" {
+				tx.Register("world", "pikachu").Assign(p.User())
+				tx.Map("inventory", p.User()).Counter("pikachu").Increment(1)
+			}
+		})
+	}
+	done := make(chan error, 2)
+	go func() { done <- capture(ana) }()
+	go func() { done <- capture(ben) }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	ownerAt := func(p *core.Connection) string {
+		tx := p.StartTransaction()
+		owner, _ := tx.Register("world", "pikachu").Read()
+		return owner
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if a, b := ownerAt(ana), ownerAt(ben); a != "" && a == b {
+			fmt.Printf("capture ordered by the SI zone: %s owns pikachu — on BOTH phones\n", a)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if a, b := ownerAt(ana), ownerAt(ben); a == "" || a != b {
+		return fmt.Errorf("ownership anomaly: ana sees %q, ben sees %q", a, b)
+	}
+
+	// Cho plays at the park and moves to the plaza: migration between peer
+	// groups (§5.2) is seamless, her state travels with her.
+	cho, err := cluster.Connect(core.ConnectOptions{Name: "phone-cho", User: "cho", DC: 1})
+	if err != nil {
+		return err
+	}
+	defer cho.Close()
+	if err := cho.JoinGroup("pop-park", group.VariantPSI); err != nil {
+		return err
+	}
+	if err := cho.Update(func(tx *core.Tx) {
+		tx.Map("inventory", "cho").Counter("pokeballs").Increment(5)
+	}); err != nil {
+		return err
+	}
+	fmt.Println("cho stocked up at the park; migrating to the plaza …")
+	if err := cho.MigrateGroup("pop-plaza"); err != nil {
+		return err
+	}
+	tx := cho.StartTransaction()
+	balls, err := tx.Map("inventory", "cho").Counter("pokeballs").Read()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after migration cho still sees her %d pokeballs (read-my-writes across groups)\n", balls)
+
+	// The untrusted cloud only ever stores ciphertext for private notes:
+	// end-to-end encryption with per-object session keys (§5.3).
+	key, err := cho.ObjectKey("inventory", "cho-notes")
+	if err != nil {
+		return err
+	}
+	secret, err := security.SealString(key, "rare spawn behind the fountain", []byte("inventory/cho-notes"))
+	if err != nil {
+		return err
+	}
+	if err := cho.Update(func(tx *core.Tx) {
+		tx.Register("inventory", "cho-notes").Assign(secret)
+	}); err != nil {
+		return err
+	}
+	// What the DC stores is ciphertext; only key holders can read it. (In
+	// group mode commits travel via the sync point, so poll the DC.)
+	var stored string
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		obj, err := cluster.DC(0).ReadAt(txn.ObjectID{Bucket: "inventory", Key: "cho-notes"}, cluster.DC(0).State())
+		if err == nil {
+			if s, _ := obj.Value().(string); s != "" {
+				stored = s
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if stored == "" {
+		return fmt.Errorf("note never reached the cloud")
+	}
+	fmt.Printf("cloud stores only ciphertext: %.24s…\n", stored)
+	plain, err := security.OpenString(key, stored, []byte("inventory/cho-notes"))
+	if err != nil {
+		return err
+	}
+	fmt.Println("key holder decrypts:", plain)
+
+	// ACL enforcement: Ben tries to tamper with Ana's inventory. His device
+	// accepts the write locally, but every correct node masks it.
+	if err := ben.Update(func(tx *core.Tx) {
+		tx.Map("inventory", "ana").Counter("pikachu").Increment(-100)
+	}); err != nil {
+		return err
+	}
+	time.Sleep(2 * time.Second)
+	if n := cluster.DC(0).MaskedCount(); n > 0 {
+		fmt.Printf("tampering attempt masked by the visibility layer (%d masked tx)\n", n)
+	} else {
+		return fmt.Errorf("tampering was not masked")
+	}
+	return nil
+}

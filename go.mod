@@ -1,0 +1,3 @@
+module colony
+
+go 1.22

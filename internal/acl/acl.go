@@ -1,0 +1,259 @@
+// Package acl implements Colony's access control (paper §2.4, §6.4): every
+// object carries an Access Control List describing which operations each
+// user may perform, and *right inheritance* (RI) is modelled by two forests,
+// one over objects and one over users.
+//
+//   - If user u inherits from user v, then u holds every ACL granted to v.
+//   - If object x inherits from object y, then any ACL granted on y also
+//     holds for x.
+//
+// Checking an ACL evaluates a predicate over the RI and ACL relations — the
+// paper's example (C2) "(book, shelf) ∈ RI ∧ (shelf, Bob, read) ∈ ACL" grants
+// Bob read access to the book through the shelf.
+//
+// Enforcement is *preventative* at the issuing edge node and *double-checked*
+// at every node on delivery: a committed transaction that fails the check is
+// masked — withheld from visibility together with everything that causally
+// depends on it — rather than rolled back. The store stays TCC+; security
+// only narrows the visible window (paper §5.3).
+package acl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"colony/internal/txn"
+)
+
+// Permission names an operation class on an object.
+type Permission string
+
+// The built-in permissions. Applications may define their own; the package
+// treats permissions as opaque labels except for Own, which implies every
+// other permission.
+const (
+	PermRead  Permission = "read"
+	PermWrite Permission = "write"
+	PermAdmin Permission = "admin"
+	PermOwn   Permission = "own"
+)
+
+// Rule is one ACL tuple from objects × users × permissions.
+type Rule struct {
+	Object txn.ObjectID
+	User   string
+	Perm   Permission
+}
+
+// String renders like "b/x:alice:write".
+func (r Rule) String() string {
+	return fmt.Sprintf("%s:%s:%s", r.Object, r.User, r.Perm)
+}
+
+// ParseRule parses the String form (used to store rules inside CRDT sets).
+func ParseRule(s string) (Rule, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Rule{}, fmt.Errorf("acl: malformed rule %q", s)
+	}
+	obj := strings.SplitN(parts[0], "/", 2)
+	if len(obj) != 2 {
+		return Rule{}, fmt.Errorf("acl: malformed object id in rule %q", s)
+	}
+	return Rule{
+		Object: txn.ObjectID{Bucket: obj[0], Key: obj[1]},
+		User:   parts[1],
+		Perm:   Permission(parts[2]),
+	}, nil
+}
+
+// Policy is a thread-safe ACL + RI database. The zero configuration denies
+// everything unless DefaultAllow is set; Colony deployments typically run
+// with DefaultAllow=true and use rules to protect specific buckets, or
+// DefaultAllow=false for locked-down collaboration spaces.
+type Policy struct {
+	mu sync.RWMutex
+	// rules is indexed by object then user for fast checks.
+	rules map[txn.ObjectID]map[string]map[Permission]bool
+	// userParent and objectParent encode the two RI forests.
+	userParent   map[string]string
+	objectParent map[txn.ObjectID]txn.ObjectID
+	defaultAllow bool
+	// epoch counts policy mutations; enforcement layers use it to
+	// re-evaluate cached visibility decisions.
+	epoch uint64
+}
+
+// NewPolicy returns an empty policy.
+func NewPolicy(defaultAllow bool) *Policy {
+	return &Policy{
+		rules:        make(map[txn.ObjectID]map[string]map[Permission]bool),
+		userParent:   make(map[string]string),
+		objectParent: make(map[txn.ObjectID]txn.ObjectID),
+		defaultAllow: defaultAllow,
+	}
+}
+
+// Epoch returns the policy mutation counter.
+func (p *Policy) Epoch() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
+}
+
+// Grant adds a rule.
+func (p *Policy) Grant(r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	users := p.rules[r.Object]
+	if users == nil {
+		users = make(map[string]map[Permission]bool)
+		p.rules[r.Object] = users
+	}
+	perms := users[r.User]
+	if perms == nil {
+		perms = make(map[Permission]bool)
+		users[r.User] = perms
+	}
+	perms[r.Perm] = true
+	p.epoch++
+}
+
+// Revoke removes a rule (no-op when absent).
+func (p *Policy) Revoke(r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if perms := p.rules[r.Object][r.User]; perms != nil {
+		delete(perms, r.Perm)
+	}
+	p.epoch++
+}
+
+// SetUserParent records that child inherits every ACL of parent (the user RI
+// forest). An empty parent removes the edge.
+func (p *Policy) SetUserParent(child, parent string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if parent == "" {
+		delete(p.userParent, child)
+	} else {
+		p.userParent[child] = parent
+	}
+	p.epoch++
+}
+
+// SetObjectParent records that ACLs granted on parent also hold for child
+// (the object RI forest — the book on the shelf). A zero parent removes the
+// edge.
+func (p *Policy) SetObjectParent(child, parent txn.ObjectID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if parent == (txn.ObjectID{}) {
+		delete(p.objectParent, child)
+	} else {
+		p.objectParent[child] = parent
+	}
+	p.epoch++
+}
+
+// Allows evaluates the RI/ACL predicate: does user hold perm on object,
+// directly or through the inheritance forests? Own implies every permission.
+func (p *Policy) Allows(user string, object txn.ObjectID, perm Permission) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.rules) == 0 && p.defaultAllow {
+		return true
+	}
+	// Walk the object chain; for each object, walk the user chain.
+	obj := object
+	for steps := 0; steps < 64; steps++ { // bound against forest cycles
+		if p.userChainAllowedLocked(user, obj, perm) {
+			return true
+		}
+		parent, ok := p.objectParent[obj]
+		if !ok {
+			break
+		}
+		obj = parent
+	}
+	return p.defaultAllow && !p.hasAnyRuleLocked(object)
+}
+
+// userChainAllowedLocked checks user and its RI ancestors against one object.
+func (p *Policy) userChainAllowedLocked(user string, obj txn.ObjectID, perm Permission) bool {
+	users := p.rules[obj]
+	if users == nil {
+		return false
+	}
+	u := user
+	for steps := 0; steps < 64; steps++ {
+		if perms := users[u]; perms != nil {
+			if perms[perm] || perms[PermOwn] {
+				return true
+			}
+		}
+		parent, ok := p.userParent[u]
+		if !ok {
+			return false
+		}
+		u = parent
+	}
+	return false
+}
+
+// hasAnyRuleLocked reports whether the object (or an RI ancestor) is
+// protected by at least one rule; unprotected objects fall back to the
+// default.
+func (p *Policy) hasAnyRuleLocked(object txn.ObjectID) bool {
+	obj := object
+	for steps := 0; steps < 64; steps++ {
+		if users := p.rules[obj]; len(users) > 0 {
+			return true
+		}
+		parent, ok := p.objectParent[obj]
+		if !ok {
+			return false
+		}
+		obj = parent
+	}
+	return false
+}
+
+// CheckTx is the transaction-level check used by the visibility layer: every
+// update in the transaction must be permitted as a write by the actor.
+func (p *Policy) CheckTx(t *txn.Transaction) bool {
+	for _, id := range t.Objects() {
+		if !p.Allows(t.Actor, id, PermWrite) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckFn is the signature Colony's visibility layers accept.
+type CheckFn func(*txn.Transaction) bool
+
+// And composes checks; all must pass. Collaboration groups use it to stack
+// their constraints (e.g. "only versions produced within the group") on top
+// of the ACL check (paper §5.3).
+func And(checks ...CheckFn) CheckFn {
+	return func(t *txn.Transaction) bool {
+		for _, c := range checks {
+			if c != nil && !c(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// OriginWithin restricts visibility to transactions produced by the given
+// set of nodes — the collaboration-group constraint of §5.3.
+func OriginWithin(nodes ...string) CheckFn {
+	set := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	return func(t *txn.Transaction) bool { return set[t.Origin] }
+}

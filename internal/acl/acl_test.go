@@ -1,0 +1,187 @@
+package acl
+
+import (
+	"testing"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+)
+
+var (
+	book  = txn.ObjectID{Bucket: "lib", Key: "book"}
+	shelf = txn.ObjectID{Bucket: "lib", Key: "shelf"}
+)
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	r := Rule{Object: book, User: "alice", Perm: PermWrite}
+	s := r.String()
+	back, err := ParseRule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip: %v vs %v", back, r)
+	}
+	for _, bad := range []string{"", "a:b", "noslash:alice:read"} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDirectGrantAndRevoke(t *testing.T) {
+	p := NewPolicy(false)
+	if p.Allows("alice", book, PermRead) {
+		t.Fatal("deny-by-default violated")
+	}
+	p.Grant(Rule{Object: book, User: "alice", Perm: PermRead})
+	if !p.Allows("alice", book, PermRead) {
+		t.Fatal("grant ignored")
+	}
+	if p.Allows("alice", book, PermWrite) {
+		t.Fatal("read grant must not imply write")
+	}
+	if p.Allows("bob", book, PermRead) {
+		t.Fatal("grant leaked to another user")
+	}
+	p.Revoke(Rule{Object: book, User: "alice", Perm: PermRead})
+	if p.Allows("alice", book, PermRead) {
+		t.Fatal("revoke ignored")
+	}
+}
+
+func TestOwnImpliesEverything(t *testing.T) {
+	p := NewPolicy(false)
+	// (C1) from the paper: (book, Alice, own) ∈ ACL.
+	p.Grant(Rule{Object: book, User: "alice", Perm: PermOwn})
+	for _, perm := range []Permission{PermRead, PermWrite, PermAdmin, PermOwn} {
+		if !p.Allows("alice", book, perm) {
+			t.Errorf("own does not imply %s", perm)
+		}
+	}
+}
+
+func TestObjectInheritance(t *testing.T) {
+	// (C2) from the paper: (book, shelf) ∈ RI ∧ (shelf, Bob, read) ∈ ACL.
+	p := NewPolicy(false)
+	p.SetObjectParent(book, shelf)
+	p.Grant(Rule{Object: shelf, User: "bob", Perm: PermRead})
+	if !p.Allows("bob", book, PermRead) {
+		t.Fatal("object RI not applied")
+	}
+	// Removing the RI edge removes the inherited right.
+	p.SetObjectParent(book, txn.ObjectID{})
+	if p.Allows("bob", book, PermRead) {
+		t.Fatal("object RI edge removal ignored")
+	}
+}
+
+func TestUserInheritance(t *testing.T) {
+	p := NewPolicy(false)
+	p.Grant(Rule{Object: book, User: "editors", Perm: PermWrite})
+	p.SetUserParent("alice", "editors")
+	if !p.Allows("alice", book, PermWrite) {
+		t.Fatal("user RI not applied")
+	}
+	p.SetUserParent("alice", "")
+	if p.Allows("alice", book, PermWrite) {
+		t.Fatal("user RI removal ignored")
+	}
+}
+
+func TestChainedInheritance(t *testing.T) {
+	p := NewPolicy(false)
+	root := txn.ObjectID{Bucket: "lib", Key: "root"}
+	p.SetObjectParent(book, shelf)
+	p.SetObjectParent(shelf, root)
+	p.Grant(Rule{Object: root, User: "admins", Perm: PermOwn})
+	p.SetUserParent("alice", "staff")
+	p.SetUserParent("staff", "admins")
+	if !p.Allows("alice", book, PermWrite) {
+		t.Fatal("two-level RI chains not resolved")
+	}
+}
+
+func TestInheritanceCycleTerminates(t *testing.T) {
+	p := NewPolicy(false)
+	p.SetObjectParent(book, shelf)
+	p.SetObjectParent(shelf, book) // cycle (invalid config, must not hang)
+	p.SetUserParent("a", "b")
+	p.SetUserParent("b", "a")
+	if p.Allows("a", book, PermRead) {
+		t.Fatal("cycle granted access from nothing")
+	}
+}
+
+func TestDefaultAllowWithProtectedObjects(t *testing.T) {
+	p := NewPolicy(true)
+	// Unprotected objects are writable by anyone.
+	if !p.Allows("anyone", shelf, PermWrite) {
+		t.Fatal("default allow ignored")
+	}
+	// Protecting an object switches it to explicit grants only.
+	p.Grant(Rule{Object: book, User: "alice", Perm: PermWrite})
+	if !p.Allows("alice", book, PermWrite) {
+		t.Fatal("explicit grant failed")
+	}
+	if p.Allows("bob", book, PermWrite) {
+		t.Fatal("protected object still open to everyone")
+	}
+	// Other objects remain open.
+	if !p.Allows("bob", shelf, PermWrite) {
+		t.Fatal("protection leaked to unrelated object")
+	}
+}
+
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	p := NewPolicy(false)
+	e0 := p.Epoch()
+	p.Grant(Rule{Object: book, User: "a", Perm: PermRead})
+	if p.Epoch() == e0 {
+		t.Fatal("epoch did not advance on grant")
+	}
+	e1 := p.Epoch()
+	p.SetObjectParent(book, shelf)
+	if p.Epoch() == e1 {
+		t.Fatal("epoch did not advance on RI change")
+	}
+}
+
+func mkTx(actor string, objects ...txn.ObjectID) *txn.Transaction {
+	t := &txn.Transaction{Actor: actor, Origin: actor + "-node"}
+	for _, id := range objects {
+		t.AppendUpdate(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+	}
+	return t
+}
+
+func TestCheckTx(t *testing.T) {
+	p := NewPolicy(true)
+	p.Grant(Rule{Object: book, User: "alice", Perm: PermWrite})
+	if !p.CheckTx(mkTx("alice", book, shelf)) {
+		t.Fatal("alice's tx should pass")
+	}
+	// Bob touches the protected book plus an open object: one bad update
+	// masks the whole transaction (atomicity).
+	if p.CheckTx(mkTx("bob", shelf, book)) {
+		t.Fatal("bob's tx should be masked")
+	}
+	if !p.CheckTx(mkTx("bob", shelf)) {
+		t.Fatal("bob's open-object tx should pass")
+	}
+}
+
+func TestAndComposition(t *testing.T) {
+	p := NewPolicy(true)
+	check := And(p.CheckTx, OriginWithin("alice-node", "carol-node"))
+	if !check(mkTx("alice", shelf)) {
+		t.Fatal("in-group tx rejected")
+	}
+	if check(mkTx("bob", shelf)) {
+		t.Fatal("out-of-group tx accepted")
+	}
+	// nil members in And are skipped.
+	if !And(nil, p.CheckTx)(mkTx("alice", shelf)) {
+		t.Fatal("And with nil check failed")
+	}
+}

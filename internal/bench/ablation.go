@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"colony/internal/chat"
+	"colony/internal/core"
+	"colony/internal/crdt"
+	"colony/internal/group"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// K-stability threshold, the peer-group commit variant, the group size, and
+// the cache size. None has a direct counterpart figure in the paper; they
+// probe the trade-offs §3.8 and §5.1.4 discuss qualitatively.
+
+// KStabilityResult measures the K trade-off (§3.8): higher K delays edge
+// visibility of remote updates but raises migration compatibility.
+type KStabilityResult struct {
+	K int
+	// VisibilityLag is how long a committed update takes to become visible
+	// at an edge node on another DC.
+	VisibilityLag LatencyStats
+}
+
+// AblationKStability sweeps K over a 3-DC mesh.
+func AblationKStability(ks []int, updates int, scale float64, seed int64) ([]KStabilityResult, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3}
+	}
+	if updates <= 0 {
+		updates = 20
+	}
+	var out []KStabilityResult
+	for _, k := range ks {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			DCs: 3, ShardsPerDC: 2, K: k,
+			Profile: core.PaperProfile(), Scale: scale,
+			Heartbeat: scaled(20*time.Millisecond, scale), Seed: seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		writer, err := cluster.Connect(core.ConnectOptions{Name: "writer", DC: 0, RetryInterval: scaled(10*time.Millisecond, scale)})
+		if err != nil {
+			cluster.Close()
+			return out, err
+		}
+		reader, err := cluster.Connect(core.ConnectOptions{Name: "reader", DC: 1, RetryInterval: scaled(10*time.Millisecond, scale)})
+		if err != nil {
+			writer.Close()
+			cluster.Close()
+			return out, err
+		}
+		_ = writer.Prefetch("abl", "x")
+		_ = reader.Prefetch("abl", "x")
+
+		var samples []Sample
+		for i := 0; i < updates; i++ {
+			start := time.Now()
+			want := int64(i + 1)
+			if err := writer.Update(func(tx *core.Tx) { tx.Counter("abl", "x").Increment(1) }); err != nil {
+				break
+			}
+			deadline := time.Now().Add(scaled(10*time.Second, scale))
+			for time.Now().Before(deadline) {
+				rtx := reader.StartTransaction()
+				v, err := rtx.Counter("abl", "x").Read()
+				if err == nil && v >= want {
+					break
+				}
+				time.Sleep(scaled(2*time.Millisecond, scale))
+			}
+			samples = append(samples, Sample{Latency: time.Since(start)})
+		}
+		reader.Close()
+		writer.Close()
+		cluster.Close()
+		out = append(out, KStabilityResult{K: k, VisibilityLag: Stats(rescale(samples, scale))})
+	}
+	return out, nil
+}
+
+// CommitVariantResult compares the two peer-group commit variants (§5.1.4).
+type CommitVariantResult struct {
+	Variant string
+	Commit  LatencyStats
+}
+
+// AblationCommitVariant measures commit latency with EPaxos off the critical
+// path (async) versus on it (PSI), under an interfering workload.
+func AblationCommitVariant(members, commits int, scale float64, seed int64) ([]CommitVariantResult, error) {
+	if members <= 0 {
+		members = 4
+	}
+	if commits <= 0 {
+		commits = 25
+	}
+	var out []CommitVariantResult
+	for _, variant := range []group.CommitVariant{group.VariantAsync, group.VariantPSI} {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			DCs: 1, ShardsPerDC: 2, K: 1,
+			Profile: core.PaperProfile(), Scale: scale,
+			Heartbeat: scaled(20*time.Millisecond, scale), Seed: seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		parent := group.NewParent(cluster.Network(), group.ParentConfig{
+			Name: "pop0", DC: cluster.DCName(0), RetryInterval: scaled(10*time.Millisecond, scale),
+		})
+		if err := parent.Connect(); err != nil {
+			parent.Close()
+			cluster.Close()
+			return out, err
+		}
+		var conns []*core.Connection
+		ok := true
+		for i := 0; i < members; i++ {
+			conn, err := cluster.Connect(core.ConnectOptions{
+				Name: fmt.Sprintf("m%d", i), DC: 0, RetryInterval: scaled(10*time.Millisecond, scale),
+			})
+			if err != nil {
+				ok = false
+				break
+			}
+			if err := conn.JoinGroup("pop0", variant); err != nil {
+				conn.Close()
+				ok = false
+				break
+			}
+			conns = append(conns, conn)
+		}
+		var samples []Sample
+		if ok {
+			// All members update the same object: full interference.
+			for i := 0; i < commits; i++ {
+				conn := conns[i%len(conns)]
+				start := time.Now()
+				_ = conn.Update(func(tx *core.Tx) { tx.Counter("abl", "shared").Increment(1) })
+				samples = append(samples, Sample{Latency: time.Since(start)})
+			}
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+		parent.Close()
+		cluster.Close()
+		name := "async"
+		if variant == group.VariantPSI {
+			name = "psi"
+		}
+		out = append(out, CommitVariantResult{Variant: name, Commit: Stats(rescale(samples, scale))})
+	}
+	return out, nil
+}
+
+// GroupSizeResult measures collaborative-cache fetch latency and group
+// propagation as the group grows.
+type GroupSizeResult struct {
+	Size        int
+	GroupFetch  LatencyStats
+	Propagation LatencyStats
+}
+
+// AblationGroupSize sweeps the peer-group size.
+func AblationGroupSize(sizes []int, opsPerSize int, scale float64, seed int64) ([]GroupSizeResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 12}
+	}
+	if opsPerSize <= 0 {
+		opsPerSize = 15
+	}
+	var out []GroupSizeResult
+	for _, size := range sizes {
+		tcfg := chat.DefaultTraceConfig(0, 0, seed)
+		tcfg.Users = size
+		tcfg.Workspaces = 1
+		tcfg.BigWorkspaceShare = 1
+		tr := chat.Generate(tcfg)
+		dep, err := Deploy(DeployConfig{
+			Mode: ModeColony, DCs: 1, K: 1, Clients: size, GroupSize: size,
+			Trace: tr, Scale: scale, Seed: seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		var fetch, prop []Sample
+		for i := 0; i < opsPerSize; i++ {
+			writer := dep.Clients[i%size].(*chat.EdgeClient)
+			readerIdx := (i + 1) % size
+			reader := dep.Clients[readerIdx].(*chat.EdgeClient)
+			ch := chat.ChannelName(i % tcfg.ChannelsPerWS)
+
+			// Group-cache fetch: evict locally and re-read through the parent.
+			start := time.Now()
+			if _, _, err := reader.Refresh("ws0", ch); err == nil {
+				fetch = append(fetch, Sample{Latency: time.Since(start)})
+			}
+
+			// Propagation: post and wait until the reader sees it.
+			marker := fmt.Sprintf("marker-%d", i)
+			start = time.Now()
+			if err := writer.Post("ws0", ch, marker); err != nil {
+				continue
+			}
+			deadline := time.Now().Add(scaled(10*time.Second, scale))
+			for time.Now().Before(deadline) {
+				msgs, _, err := reader.ReadChannel("ws0", ch)
+				if err == nil && containsText(msgs, marker) {
+					prop = append(prop, Sample{Latency: time.Since(start)})
+					break
+				}
+				time.Sleep(scaled(time.Millisecond, scale))
+			}
+		}
+		dep.Close()
+		out = append(out, GroupSizeResult{
+			Size:        size,
+			GroupFetch:  Stats(rescale(fetch, scale)),
+			Propagation: Stats(rescale(prop, scale)),
+		})
+	}
+	return out, nil
+}
+
+func containsText(msgs []chat.Message, text string) bool {
+	for _, m := range msgs {
+		if m.Text == text {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheSizeResult measures hit rate versus cache capacity (the LRU policy of
+// §6.1).
+type CacheSizeResult struct {
+	Limit   int
+	HitRate float64
+}
+
+// AblationCacheSize sweeps the client cache limit against a working set
+// larger than the smallest caches.
+func AblationCacheSize(limits []int, reads int, scale float64, seed int64) ([]CacheSizeResult, error) {
+	if len(limits) == 0 {
+		limits = []int{4, 8, 16, 32}
+	}
+	if reads <= 0 {
+		reads = 120
+	}
+	var out []CacheSizeResult
+	for _, limit := range limits {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			DCs: 1, ShardsPerDC: 2, K: 1,
+			Profile: core.PaperProfile(), Scale: scale,
+			Heartbeat: scaled(20*time.Millisecond, scale), Seed: seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		seeder, err := cluster.Connect(core.ConnectOptions{Name: "seeder", DC: 0, RetryInterval: scaled(10*time.Millisecond, scale)})
+		if err != nil {
+			cluster.Close()
+			return out, err
+		}
+		const objects = 24
+		for i := 0; i < objects; i++ {
+			_ = seeder.Update(func(tx *core.Tx) {
+				tx.Counter("abl", fmt.Sprintf("o%d", i)).Increment(1)
+			})
+		}
+		_ = seeder.Flush(scaled(10*time.Second, scale))
+		seeder.Close()
+
+		conn, err := cluster.Connect(core.ConnectOptions{
+			Name: "reader", DC: 0, CacheLimit: limit, RetryInterval: scaled(10*time.Millisecond, scale),
+		})
+		if err != nil {
+			cluster.Close()
+			return out, err
+		}
+		// Zipf-ish access: object (i*i)%objects concentrates on a few keys.
+		for i := 0; i < reads; i++ {
+			key := fmt.Sprintf("o%d", (i*i+i)%objects)
+			tx := conn.StartTransaction()
+			_, _, _ = tx.ReadObjectTracked("abl", key, crdt.KindCounter)
+		}
+		st := conn.Node().Stats()
+		var rate float64
+		if st.Reads > 0 {
+			rate = float64(st.CacheHits) / float64(st.Reads)
+		}
+		conn.Close()
+		cluster.Close()
+		out = append(out, CacheSizeResult{Limit: limit, HitRate: rate})
+	}
+	return out, nil
+}

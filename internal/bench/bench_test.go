@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"colony/internal/chat"
+	"colony/internal/edge"
+)
+
+// tiny configs keep these as unit tests; cmd/colony-bench runs the full
+// paper-sized sweeps.
+
+func TestStatsAndHitRates(t *testing.T) {
+	samples := []Sample{
+		{Latency: 1 * time.Millisecond, Source: edge.SourceCache},
+		{Latency: 2 * time.Millisecond, Source: edge.SourceGroup},
+		{Latency: 100 * time.Millisecond, Source: edge.SourceDC},
+		{Latency: 3 * time.Millisecond, Source: edge.SourceCache, Write: true},
+	}
+	st := Stats(samples)
+	if st.Count != 4 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.MedianMs < 1 || st.MedianMs > 3 {
+		t.Fatalf("median = %v", st.MedianMs)
+	}
+	if st.P99Ms != 100 {
+		t.Fatalf("p99 = %v", st.P99Ms)
+	}
+	hr := ComputeHitRates(samples) // 3 reads: cache, group, dc
+	if hr.Cache < 0.3 || hr.Cache > 0.35 {
+		t.Fatalf("cache rate = %v", hr.Cache)
+	}
+	if hr.Group == 0 || hr.DC == 0 {
+		t.Fatalf("rates = %+v", hr)
+	}
+	if s := Stats(nil); s.Count != 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestDeployAndRunAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeAntidote, ModeSwiftCloud, ModeColony} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			tcfg := chat.DefaultTraceConfig(0, 40, 7)
+			tcfg.Users = 4
+			tr := chat.Generate(tcfg)
+			dep, err := Deploy(DeployConfig{
+				Mode: mode, DCs: 3, K: 2, Clients: 4, GroupSize: 4,
+				Trace: tr, Scale: 0.02, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dep.Close()
+			samples := RunActions(dep, tr.Actions, false, 0.02)
+			if len(samples) != len(tr.Actions) {
+				t.Fatalf("samples = %d, want %d", len(samples), len(tr.Actions))
+			}
+			hr := ComputeHitRates(samples)
+			switch mode {
+			case ModeAntidote:
+				if hr.DC < 0.99 {
+					t.Fatalf("antidote mode must always hit the DC: %+v", hr)
+				}
+			case ModeSwiftCloud:
+				if hr.Cache < 0.5 {
+					t.Fatalf("swiftcloud cache rate too low: %+v", hr)
+				}
+			case ModeColony:
+				if hr.Cache+hr.Group < 0.5 {
+					t.Fatalf("colony combined rate too low: %+v", hr)
+				}
+			}
+		})
+	}
+}
+
+func TestColonyLatencyBeatsAntidote(t *testing.T) {
+	run := func(mode Mode) LatencyStats {
+		tcfg := chat.DefaultTraceConfig(0, 60, 11)
+		tcfg.Users = 6
+		tr := chat.Generate(tcfg)
+		dep, err := Deploy(DeployConfig{
+			Mode: mode, DCs: 1, K: 1, Clients: 6, GroupSize: 6,
+			Trace: tr, Scale: 0.05, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dep.Close()
+		return Stats(RunActions(dep, tr.Actions, false, 0.05))
+	}
+	anti := run(ModeAntidote)
+	colony := run(ModeColony)
+	if colony.MedianMs >= anti.MedianMs {
+		t.Fatalf("colony median %.2fms not better than antidote %.2fms", colony.MedianMs, anti.MedianMs)
+	}
+	// The gap should be large (paper: 8–20×); require at least 3× here.
+	if anti.MedianMs/colony.MedianMs < 3 {
+		t.Fatalf("latency gain only %.1f×", anti.MedianMs/colony.MedianMs)
+	}
+}
+
+func TestRunFig4Smoke(t *testing.T) {
+	pts, err := RunFig4(Fig4Config{
+		Modes:            []Mode{ModeSwiftCloud},
+		DCCounts:         []int{1},
+		ClientCounts:     []int{4},
+		ActionsPerClient: 5,
+		Scale:            0.02,
+		Seed:             3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].ThroughputTx <= 0 || pts[0].Latency.Count != 20 {
+		t.Fatalf("point = %+v", pts[0])
+	}
+	if pts[0].Label() != "1-DC SwiftCloud" {
+		t.Fatalf("label = %q", pts[0].Label())
+	}
+}
+
+func TestRunFig5Smoke(t *testing.T) {
+	res, err := RunFig5(TimelineConfig{
+		Users: 6, GroupSize: 3,
+		Duration: 6 * time.Second, FirstEvent: 2 * time.Second, SecondEvent: 4 * time.Second,
+		ActionsPerSecond: 2, Scale: 0.1, Seed: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Offline cache/group performance unchanged (within noise).
+	ratio := offlineRatio(res)
+	if ratio > 4 {
+		t.Fatalf("offline latency ratio = %.2f, want ≈1", ratio)
+	}
+	buckets := Bucketize(res.Samples)
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+}
+
+func TestRunFig6Smoke(t *testing.T) {
+	res, err := RunFig6(TimelineConfig{
+		Users: 6, GroupSize: 3,
+		Duration: 6 * time.Second, FirstEvent: 2 * time.Second, SecondEvent: 4 * time.Second,
+		ActionsPerSecond: 2, Scale: 0.1, Seed: 6,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FocusUsers) != 1 {
+		t.Fatalf("focus users = %v", res.FocusUsers)
+	}
+	// The disconnected user kept committing (local availability).
+	focus := 0
+	for _, s := range res.Samples {
+		if s.User == res.FocusUsers[0] && s.At >= res.Disconnect && s.At < res.Reconnect {
+			focus++
+		}
+	}
+	if focus == 0 {
+		t.Fatal("disconnected user made no progress offline")
+	}
+}
+
+func TestRunFig7Smoke(t *testing.T) {
+	res, err := RunFig7(TimelineConfig{
+		Users: 6, GroupSize: 3,
+		Duration: 6 * time.Second, FirstEvent: 2 * time.Second, SecondEvent: 3 * time.Second,
+		ActionsPerSecond: 2, Scale: 0.1, Seed: 8,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := res.FocusUsers[0]
+	joined := 0
+	for _, s := range res.Samples {
+		if s.User == joiner {
+			joined++
+			// Synchronisation through the group must stay well below a DC
+			// round trip (paper: <12ms vs ~82ms; our model DC RTT is
+			// ~120ms, allow generous slack for scheduling noise).
+			if s.Latency > 100*time.Millisecond {
+				t.Fatalf("joiner latency %v (model time) rivals a DC round trip", s.Latency)
+			}
+		}
+	}
+	if joined == 0 {
+		t.Fatal("joiner recorded no samples")
+	}
+}
+
+func TestDeriveClaims(t *testing.T) {
+	fig4 := []Fig4Point{
+		{Mode: ModeAntidote, DCs: 1, ThroughputTx: 100, Latency: LatencyStats{MeanMs: 100}},
+		{Mode: ModeAntidote, DCs: 3, ThroughputTx: 140, Latency: LatencyStats{MeanMs: 100}},
+		{Mode: ModeSwiftCloud, DCs: 3, ThroughputTx: 196, Latency: LatencyStats{MeanMs: 12.5},
+			Hits: HitRates{Cache: 0.9, DC: 0.1}},
+		{Mode: ModeColony, DCs: 3, ThroughputTx: 224, Latency: LatencyStats{MeanMs: 5},
+			Hits: HitRates{Cache: 0.9, Group: 0.05, DC: 0.05}},
+	}
+	c := DeriveClaims(fig4, nil)
+	if c.ThroughputGainSwiftCloud != 1.4 || c.ThroughputGainColony != 1.6 {
+		t.Fatalf("throughput gains = %+v", c)
+	}
+	if c.LatencyGainSwiftCloud != 8 || c.LatencyGainColony != 20 {
+		t.Fatalf("latency gains = %+v", c)
+	}
+	if c.AntidoteDC3Gain != 1.4 {
+		t.Fatalf("3-DC gain = %v", c.AntidoteDC3Gain)
+	}
+	if c.SwiftCloudHitRate != 0.9 || c.ColonyCombinedHitRate < 0.949 || c.ColonyCombinedHitRate > 0.951 {
+		t.Fatalf("hit rates = %+v", c)
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"colony/internal/edge"
+)
+
+// Claims are the paper's headline numbers (§1, §7.3) derived from the
+// Figure 4 and Figure 5 data:
+//
+//   - local caching (SwiftCloud) improves throughput 1.4× and response time
+//     8× over the cloud configuration;
+//   - group caching (Colony) improves throughput 1.6× and response time 20×;
+//   - going from one to three DCs raises the no-cache configuration's
+//     maximum throughput by ≈40%;
+//   - offline performance equals online performance for cache and group
+//     hits.
+type Claims struct {
+	ThroughputGainSwiftCloud float64 // vs AntidoteDB, same DC count
+	ThroughputGainColony     float64
+	LatencyGainSwiftCloud    float64 // AntidoteDB mean / SwiftCloud mean
+	LatencyGainColony        float64
+	AntidoteDC3Gain          float64 // 3-DC max throughput / 1-DC, AntidoteDB
+	SwiftCloudHitRate        float64
+	ColonyCombinedHitRate    float64
+	// Offline ratio: mean cache+group latency during the Fig 5 outage vs
+	// before it (≈1.0 = "performance in offline mode remains the same").
+	OfflineLatencyRatio float64
+}
+
+// DeriveClaims computes the headline numbers from experiment outputs.
+// fig5 may be nil (the offline ratio is then zero).
+func DeriveClaims(fig4 []Fig4Point, fig5 *TimelineResult) Claims {
+	var c Claims
+	maxTput := map[string]float64{}
+	bestLatency := map[string]float64{}
+	hits := map[string]HitRates{}
+	for _, p := range fig4 {
+		key := fmt.Sprintf("%d/%s", p.DCs, p.Mode)
+		if p.ThroughputTx > maxTput[key] {
+			maxTput[key] = p.ThroughputTx
+		}
+		// Pre-saturation latency: keep the best (lowest mean).
+		if bestLatency[key] == 0 || p.Latency.MeanMs < bestLatency[key] {
+			bestLatency[key] = p.Latency.MeanMs
+		}
+		hits[key] = p.Hits
+	}
+	pick := func(m map[string]float64, dcs int, mode Mode) float64 {
+		return m[fmt.Sprintf("%d/%s", dcs, mode)]
+	}
+	// Use the 3-DC rows (the paper's main configuration) where present,
+	// falling back to 1-DC.
+	dcs := 3
+	if pick(maxTput, 3, ModeAntidote) == 0 {
+		dcs = 1
+	}
+	if base := pick(maxTput, dcs, ModeAntidote); base > 0 {
+		c.ThroughputGainSwiftCloud = pick(maxTput, dcs, ModeSwiftCloud) / base
+		c.ThroughputGainColony = pick(maxTput, dcs, ModeColony) / base
+	}
+	if base := pick(bestLatency, dcs, ModeAntidote); base > 0 {
+		if l := pick(bestLatency, dcs, ModeSwiftCloud); l > 0 {
+			c.LatencyGainSwiftCloud = base / l
+		}
+		if l := pick(bestLatency, dcs, ModeColony); l > 0 {
+			c.LatencyGainColony = base / l
+		}
+	}
+	if one := pick(maxTput, 1, ModeAntidote); one > 0 {
+		c.AntidoteDC3Gain = pick(maxTput, 3, ModeAntidote) / one
+	}
+	if h, ok := hits[fmt.Sprintf("%d/%s", dcs, ModeSwiftCloud)]; ok {
+		c.SwiftCloudHitRate = h.Cache
+	}
+	if h, ok := hits[fmt.Sprintf("%d/%s", dcs, ModeColony)]; ok {
+		c.ColonyCombinedHitRate = h.Cache + h.Group
+	}
+	if fig5 != nil {
+		c.OfflineLatencyRatio = offlineRatio(fig5)
+	}
+	return c
+}
+
+// offlineRatio compares cache/group-hit latency during the outage window to
+// before it.
+func offlineRatio(res *TimelineResult) float64 {
+	var before, during []Sample
+	for _, s := range res.Samples {
+		if s.Source == edge.SourceDC {
+			continue // DC hits vanish offline by construction; compare hits
+		}
+		switch {
+		case s.At < res.Disconnect:
+			before = append(before, s)
+		case s.At >= res.Disconnect && s.At < res.Reconnect:
+			during = append(during, s)
+		}
+	}
+	b, d := Stats(before), Stats(during)
+	if b.MedianMs == 0 {
+		return 0
+	}
+	return d.MedianMs / b.MedianMs
+}
+
+// TimeBuckets aggregates a timeline into per-second rows (the printable form
+// of Figures 5–7).
+type TimeBucket struct {
+	Second  int
+	BySrc   map[string]LatencyStats
+	Samples int
+}
+
+// Bucketize groups samples into 1-second buckets by hit class.
+func Bucketize(samples []Sample) []TimeBucket {
+	byBucket := make(map[int]map[string][]Sample)
+	for _, s := range samples {
+		sec := int(s.At / time.Second)
+		m := byBucket[sec]
+		if m == nil {
+			m = make(map[string][]Sample)
+			byBucket[sec] = m
+		}
+		m[s.Source.String()] = append(m[s.Source.String()], s)
+	}
+	secs := make([]int, 0, len(byBucket))
+	for s := range byBucket {
+		secs = append(secs, s)
+	}
+	sort.Ints(secs)
+	out := make([]TimeBucket, 0, len(secs))
+	for _, sec := range secs {
+		tb := TimeBucket{Second: sec, BySrc: make(map[string]LatencyStats)}
+		for src, ss := range byBucket[sec] {
+			tb.BySrc[src] = Stats(ss)
+			tb.Samples += len(ss)
+		}
+		out = append(out, tb)
+	}
+	return out
+}

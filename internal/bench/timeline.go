@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"colony/internal/chat"
+	"colony/internal/core"
+	"colony/internal/group"
+)
+
+// TimelineConfig parameterises the disconnection and migration studies
+// (Figures 5–7): a single workspace with 36 users, 12 of them packed into
+// one peer group, all caches initialised, paced actions over a 70-second
+// window with events at 25 s and 45 s. Durations are the paper's; Scale
+// accelerates the run.
+type TimelineConfig struct {
+	// Users in the workspace (default 36) and of them, in the group
+	// (default 12).
+	Users     int
+	GroupSize int
+	// Duration of the run and the two event times (defaults 70s/25s/45s).
+	Duration    time.Duration
+	FirstEvent  time.Duration
+	SecondEvent time.Duration
+	// ActionsPerSecond paces each user (default 4).
+	ActionsPerSecond float64
+	// Scale accelerates the timeline and the network (default 0.1).
+	Scale float64
+	Seed  int64
+}
+
+func (cfg *TimelineConfig) defaults() {
+	if cfg.Users <= 0 {
+		cfg.Users = 36
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = 12
+	}
+	if cfg.GroupSize > cfg.Users {
+		cfg.GroupSize = cfg.Users
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 70 * time.Second
+	}
+	if cfg.FirstEvent <= 0 {
+		cfg.FirstEvent = 25 * time.Second
+	}
+	if cfg.SecondEvent <= 0 {
+		cfg.SecondEvent = 45 * time.Second
+	}
+	if cfg.ActionsPerSecond <= 0 {
+		cfg.ActionsPerSecond = 4
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+}
+
+// TimelineResult is the outcome of one timeline experiment.
+type TimelineResult struct {
+	Samples []Sample
+	// Disconnect/Reconnect are the (scaled back to model time) event
+	// offsets, for plotting the dashed lines.
+	Disconnect, Reconnect time.Duration
+	// FocusUsers lists the users the figure highlights (the disconnected
+	// user in Fig 6, the joining client in Fig 7).
+	FocusUsers []string
+}
+
+// timelineTrace builds the paced single-workspace trace.
+func timelineTrace(cfg TimelineConfig) *chat.Trace {
+	tcfg := chat.DefaultTraceConfig(0, 0, cfg.Seed)
+	tcfg.Users = cfg.Users
+	tcfg.Workspaces = 1
+	tcfg.BigWorkspaceShare = 1.0
+	tcfg.Actions = int(cfg.Duration.Seconds() * cfg.ActionsPerSecond * float64(cfg.Users))
+	tcfg.Duration = cfg.Duration
+	tr := chat.Generate(tcfg)
+	return tr
+}
+
+// deployTimeline boots the shared Fig 5–7 environment: one DC tree with a
+// 12-member peer group plus independent edge users. Devices cache only half
+// of the workspace's channels (limited far-edge caches), so the run
+// exercises all three hit classes: local cache, collaborative cache (group
+// members) and remote DC (independent users).
+func deployTimeline(cfg TimelineConfig) (*Deployment, *chat.Trace, error) {
+	tr := timelineTrace(cfg)
+	cacheLimit := tr.Config.ChannelsPerWS/2 + 4
+	dep, err := Deploy(DeployConfig{
+		Mode: ModeColony, DCs: 3, K: 2, Clients: cfg.GroupSize,
+		GroupSize: cfg.GroupSize, Trace: tr, Scale: cfg.Scale, Seed: cfg.Seed,
+		PrefetchShare: 0.5, CacheLimit: cacheLimit,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	half := tr.Config.ChannelsPerWS / 2
+	// The remaining users are independent SwiftCloud-style edge clients.
+	for i := cfg.GroupSize; i < cfg.Users; i++ {
+		user := chat.UserName(i)
+		conn, err := dep.Cluster.Connect(core.ConnectOptions{
+			Name: fmt.Sprintf("cl%04d", i), User: user, DC: i % dep.Cluster.NumDCs(),
+			RetryInterval: scaled(20*time.Millisecond, cfg.Scale),
+			CacheLimit:    cacheLimit,
+		})
+		if err != nil {
+			dep.Close()
+			return nil, nil, err
+		}
+		dep.conns = append(dep.conns, conn)
+		ec := chat.NewEdgeClient(conn)
+		chans := make([]string, half)
+		for c := range chans {
+			chans[c] = chat.ChannelName(c)
+		}
+		if err := ec.Prefetch("ws0", chans...); err != nil {
+			dep.Close()
+			return nil, nil, err
+		}
+		dep.Clients = append(dep.Clients, ec)
+	}
+	return dep, tr, nil
+}
+
+// RunFig5 reproduces Figure 5: the peer group's sync point loses its DC at
+// FirstEvent and reconnects at SecondEvent; client-hit and group-hit
+// latencies must be unaffected while DC hits disappear during the outage.
+func RunFig5(cfg TimelineConfig, progress func(string)) (*TimelineResult, error) {
+	cfg.defaults()
+	dep, tr, err := deployTimeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	if progress != nil {
+		progress("fig5: running timeline")
+	}
+
+	parent := dep.Parents[0]
+	dcName := parent.Node().ConnectedDC()
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(scaled(cfg.FirstEvent, cfg.Scale)):
+			dep.Cluster.Network().Partition(parent.Name(), dcName)
+		case <-stop:
+			return
+		}
+		select {
+		case <-time.After(scaled(cfg.SecondEvent-cfg.FirstEvent, cfg.Scale)):
+			dep.Cluster.Network().Heal(parent.Name(), dcName)
+		case <-stop:
+		}
+	}()
+	samples := RunActions(dep, tr.Actions, true, cfg.Scale)
+	close(stop)
+	return &TimelineResult{
+		Samples:    rescale(samples, cfg.Scale),
+		Disconnect: cfg.FirstEvent,
+		Reconnect:  cfg.SecondEvent,
+	}, nil
+}
+
+// RunFig6 reproduces Figure 6: one user disconnects from its peer group at
+// FirstEvent and reconnects at SecondEvent.
+func RunFig6(cfg TimelineConfig, progress func(string)) (*TimelineResult, error) {
+	cfg.defaults()
+	dep, tr, err := deployTimeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	if progress != nil {
+		progress("fig6: running timeline")
+	}
+
+	victim := "cl0000"
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(scaled(cfg.FirstEvent, cfg.Scale)):
+			dep.Cluster.Network().Isolate(victim)
+		case <-stop:
+			return
+		}
+		select {
+		case <-time.After(scaled(cfg.SecondEvent-cfg.FirstEvent, cfg.Scale)):
+			dep.Cluster.Network().Rejoin(victim)
+		case <-stop:
+		}
+	}()
+	samples := RunActions(dep, tr.Actions, true, cfg.Scale)
+	close(stop)
+	return &TimelineResult{
+		Samples:    rescale(samples, cfg.Scale),
+		Disconnect: cfg.FirstEvent,
+		Reconnect:  cfg.SecondEvent,
+		FocusUsers: []string{chat.UserName(0)},
+	}, nil
+}
+
+// RunFig7 reproduces Figure 7: a mobile client with a completely invalid
+// cache joins the peer group at SecondEvent; its first transactions pay a
+// short synchronisation cost (well below a DC round trip), then match the
+// group.
+func RunFig7(cfg TimelineConfig, progress func(string)) (*TimelineResult, error) {
+	cfg.defaults()
+	dep, tr, err := deployTimeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	if progress != nil {
+		progress("fig7: running timeline")
+	}
+
+	// The joining client connects cold at SecondEvent and then performs
+	// group reads; it is not part of the base trace.
+	joiner := chat.UserName(cfg.Users)
+	rec := newRecorder()
+	joinDone := make(chan error, 1)
+	go func() {
+		time.Sleep(scaled(cfg.SecondEvent, cfg.Scale))
+		conn, err := dep.Cluster.Connect(core.ConnectOptions{
+			Name: "mobile", User: joiner, DC: 0,
+			RetryInterval: scaled(20*time.Millisecond, cfg.Scale),
+		})
+		if err != nil {
+			joinDone <- err
+			return
+		}
+		defer conn.Close()
+		if err := conn.JoinGroup(dep.Parents[0].Name(), group.VariantAsync); err != nil {
+			joinDone <- err
+			return
+		}
+		ec := chat.NewEdgeClient(conn)
+		// Cold cache: every channel read initially synchronises via the
+		// group's collaborative cache.
+		interval := scaled(time.Duration(float64(time.Second)/cfg.ActionsPerSecond), cfg.Scale)
+		deadline := time.After(scaled(cfg.Duration-cfg.SecondEvent, cfg.Scale))
+		i := 0
+		for {
+			select {
+			case <-deadline:
+				joinDone <- nil
+				return
+			default:
+			}
+			start := time.Now()
+			_, src, err := ec.ReadChannel("ws0", chat.ChannelName(i%tr.Config.ChannelsPerWS))
+			if err == nil {
+				rec.add(joiner, time.Since(start), src, false)
+			}
+			i++
+			time.Sleep(interval)
+		}
+	}()
+
+	samples := RunActions(dep, tr.Actions, true, cfg.Scale)
+	if err := <-joinDone; err != nil {
+		return nil, fmt.Errorf("fig7 joiner: %w", err)
+	}
+	// The joiner's recorder started with the experiment, so its offsets are
+	// already on the shared timeline.
+	all := append(samples, rec.all()...)
+	return &TimelineResult{
+		Samples:    rescale(all, cfg.Scale),
+		Disconnect: cfg.SecondEvent, // the join event
+		Reconnect:  cfg.SecondEvent,
+		FocusUsers: []string{joiner},
+	}, nil
+}
+
+// rescale converts sample offsets and latencies back to model time
+// (dividing by the acceleration factor) so results read in the paper's
+// units. Latencies are dominated by (scaled) network delays, so the model
+// conversion is faithful; pure compute costs are slightly over-counted.
+func rescale(samples []Sample, scale float64) []Sample {
+	if scale == 0 || scale == 1.0 {
+		return samples
+	}
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		s.At = time.Duration(float64(s.At) / scale)
+		s.Latency = time.Duration(float64(s.Latency) / scale)
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package chat
+
+import (
+	"testing"
+	"time"
+
+	"colony/internal/core"
+	"colony/internal/edge"
+)
+
+func newCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.ClusterConfig{DCs: 3, ShardsPerDC: 2, K: 1, Heartbeat: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func edgeClient(t *testing.T, c *core.Cluster, name string, dcIdx int) *EdgeClient {
+	t.Helper()
+	conn, err := c.Connect(core.ConnectOptions{Name: name, DC: dcIdx, RetryInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(conn.Close)
+	return NewEdgeClient(conn)
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+func TestMessageEncoding(t *testing.T) {
+	m := Message{Author: "alice", Text: "hi|there"}
+	back, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := DecodeMessage("noseparator"); err == nil {
+		t.Fatal("malformed message decoded")
+	}
+}
+
+func TestPostAndReadAcrossClients(t *testing.T) {
+	cluster := newCluster(t)
+	alice := edgeClient(t, cluster, "alice", 0)
+	bob := edgeClient(t, cluster, "bob", 1)
+
+	if err := alice.Post("ws0", "chan00", "hello bob"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		msgs, _, err := bob.ReadChannel("ws0", "chan00")
+		return err == nil && len(msgs) == 1 && msgs[0].Author == "alice"
+	}, "bob never saw alice's message")
+
+	// An answer is visible only after its question (causality): bob replies,
+	// any reader sees [question, answer] in order.
+	if err := bob.Post("ws0", "chan00", "hi alice"); err != nil {
+		t.Fatal(err)
+	}
+	carol := edgeClient(t, cluster, "carol", 2)
+	waitFor(t, 3*time.Second, func() bool {
+		msgs, _, err := carol.ReadChannel("ws0", "chan00")
+		if err != nil || len(msgs) != 2 {
+			return false
+		}
+		return msgs[0].Text == "hello bob" && msgs[1].Text == "hi alice"
+	}, "carol read an anomalous channel ordering")
+}
+
+func TestJoinWorkspaceInvariant(t *testing.T) {
+	cluster := newCluster(t)
+	alice := edgeClient(t, cluster, "alice", 0)
+	if err := alice.JoinWorkspace("ws1"); err != nil {
+		t.Fatal(err)
+	}
+	// Both sides of the invariant commit atomically: read them in one tx.
+	tx := alice.Conn().StartTransaction()
+	users, err := tx.Map(BucketWorkspaces, "ws1").Set("users").Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wss, err := tx.Map(BucketUsers, "alice").Set("workspaces").Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 1 || users[0] != "alice" {
+		t.Fatalf("workspace users = %v", users)
+	}
+	if len(wss) != 1 || wss[0] != "ws1" {
+		t.Fatalf("user workspaces = %v", wss)
+	}
+	status, err := tx.Map(BucketWorkspaces, "ws1").Register("status/alice").Read()
+	if err != nil || status != StatusOrdinary {
+		t.Fatalf("status = %q, %v", status, err)
+	}
+}
+
+func TestCloudClientParity(t *testing.T) {
+	cluster := newCluster(t)
+	cc := NewCloudClient(cluster.CloudConnect("cloud1", "dave", 0), "dave")
+	if err := cc.JoinWorkspace("ws0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Post("ws0", "chan01", "from the cloud"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.AddFriend("alice"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, src, err := cc.ReadChannel("ws0", "chan01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != edge.SourceDC {
+		t.Fatalf("cloud read source = %v", src)
+	}
+	if len(msgs) != 1 || msgs[0].Text != "from the cloud" {
+		t.Fatalf("messages = %v", msgs)
+	}
+	// An edge client converges to the same channel content.
+	alice := edgeClient(t, cluster, "alice", 1)
+	waitFor(t, 3*time.Second, func() bool {
+		msgs, _, err := alice.ReadChannel("ws0", "chan01")
+		return err == nil && len(msgs) == 1
+	}, "edge client never converged with cloud post")
+}
+
+func TestBotReacts(t *testing.T) {
+	cluster := newCluster(t)
+	human := edgeClient(t, cluster, "human", 0)
+	botConn := edgeClient(t, cluster, "botty", 0)
+	if err := botConn.Prefetch("ws0", "chan02"); err != nil {
+		t.Fatal(err)
+	}
+	bot := NewBot(botConn, "ws0", "chan02", 1.0, 7) // always replies
+	if err := human.Post("ws0", "chan02", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		_, replies := bot.Stats()
+		return replies >= 1
+	}, "bot never reacted")
+	waitFor(t, 3*time.Second, func() bool {
+		msgs, _, err := human.ReadChannel("ws0", "chan02")
+		if err != nil {
+			return false
+		}
+		for _, m := range msgs {
+			if m.Author == "botty" {
+				return true
+			}
+		}
+		return false
+	}, "bot reply never visible to the human")
+}
+
+func TestTraceStatisticsMatchPaper(t *testing.T) {
+	cfg := DefaultTraceConfig(1.0, 40000, 42)
+	tr := Generate(cfg)
+	if cfg.Users != 2000 || cfg.Workspaces != 3 || cfg.ChannelsPerWS != 20 {
+		t.Fatalf("default config deviates from the paper: %+v", cfg)
+	}
+	st := tr.Stats()
+	total := float64(st.Reads + st.Posts + st.Refreshes)
+	// 90/10 read/write ratio (reads + refreshes vs posts), within 3 points.
+	writeShare := float64(st.Posts) / total
+	if writeShare < 0.07 || writeShare > 0.13 {
+		t.Fatalf("write share = %.3f, want ≈0.10", writeShare)
+	}
+	// Refresh every 5 transactions → ≈20% refreshes.
+	refreshShare := float64(st.Refreshes) / total
+	if refreshShare < 0.15 || refreshShare > 0.25 {
+		t.Fatalf("refresh share = %.3f, want ≈0.20", refreshShare)
+	}
+	// Pareto: 20% of users execute ≈80% of the operations.
+	if st.Top20Share < 0.6 || st.Top20Share > 0.95 {
+		t.Fatalf("top-20%% share = %.3f, want ≈0.8", st.Top20Share)
+	}
+	// 10% bots.
+	if st.BotUsers != 200 {
+		t.Fatalf("bots = %d, want 200", st.BotUsers)
+	}
+	// Determinism.
+	tr2 := Generate(cfg)
+	if len(tr2.Actions) != len(tr.Actions) || tr2.Actions[0] != tr.Actions[0] {
+		t.Fatal("trace generation not deterministic")
+	}
+	// One workspace holds about half the users.
+	big := 0
+	for _, wss := range tr.Membership {
+		for _, w := range wss {
+			if w == 0 {
+				big++
+			}
+		}
+	}
+	if big < 850 || big > 1150 {
+		t.Fatalf("big workspace membership = %d, want ≈1000", big)
+	}
+}
+
+func TestTracePacing(t *testing.T) {
+	cfg := DefaultTraceConfig(0.01, 100, 1)
+	cfg.Duration = 10 * time.Second
+	cfg.Diurnal = true
+	tr := Generate(cfg)
+	last := time.Duration(-1)
+	for _, a := range tr.Actions {
+		if a.At < 0 || a.At > 11*time.Second {
+			t.Fatalf("action at %v outside duration", a.At)
+		}
+		if a.At < last {
+			// The diurnal modulation is smooth; time must stay monotone.
+			t.Fatalf("pacing not monotone: %v after %v", a.At, last)
+		}
+		last = a.At
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	cluster := newCluster(t)
+	adminConn, err := cluster.Connect(core.ConnectOptions{Name: "admin", DC: 0, RetryInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(adminConn.Close)
+	cfg := DefaultTraceConfig(0.005, 0, 3) // 10 users
+	tr := Generate(cfg)
+	if err := Populate(adminConn, tr); err != nil {
+		t.Fatal(err)
+	}
+	tx := adminConn.StartTransaction()
+	chans, err := tx.Map(BucketWorkspaces, "ws0").Set("channels").Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != cfg.ChannelsPerWS {
+		t.Fatalf("channels = %d", len(chans))
+	}
+	desc, err := tx.Map(BucketChannels, ChannelKey("ws0", "chan00")).Register("desc").Read()
+	if err != nil || desc == "" {
+		t.Fatalf("desc = %q, %v", desc, err)
+	}
+	users, err := tx.Map(BucketWorkspaces, "ws0").Set("users").Read()
+	if err != nil || len(users) == 0 {
+		t.Fatalf("users = %v, %v", users, err)
+	}
+}

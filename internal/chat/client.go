@@ -1,0 +1,331 @@
+package chat
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"colony/internal/core"
+	"colony/internal/crdt"
+	"colony/internal/edge"
+	"colony/internal/txn"
+	"colony/internal/wire"
+)
+
+// Client is the operation surface ColonyChat needs from a Colony session.
+// Two implementations exist: EdgeClient (Colony and SwiftCloud modes — local
+// cache, optionally a peer group) and CloudClient (the AntidoteDB mode — no
+// cache, every transaction is a DC round trip).
+type Client interface {
+	// User returns the authenticated user.
+	User() string
+	// Post appends a message to a channel (a write transaction).
+	Post(ws, channel, text string) error
+	// ReadChannel returns the channel's messages and the slowest hit class
+	// the read touched.
+	ReadChannel(ws, channel string) ([]Message, edge.ReadSource, error)
+	// Refresh re-fetches the channel from upstream, bypassing the local
+	// cache — the "refresh every 5 transactions" action of the trace.
+	Refresh(ws, channel string) ([]Message, edge.ReadSource, error)
+	// JoinWorkspace atomically adds the user to the workspace and the
+	// workspace to the user's profile (the invariant of §7.1).
+	JoinWorkspace(ws string) error
+	// AddFriend updates the user's friend set.
+	AddFriend(friend string) error
+}
+
+// --- edge-backed client ---
+
+// EdgeClient runs ColonyChat over a core.Connection (edge node, optionally
+// in a peer group).
+type EdgeClient struct {
+	conn *core.Connection
+}
+
+var _ Client = (*EdgeClient)(nil)
+
+// NewEdgeClient wraps a connection.
+func NewEdgeClient(conn *core.Connection) *EdgeClient { return &EdgeClient{conn: conn} }
+
+// Conn exposes the underlying connection.
+func (c *EdgeClient) Conn() *core.Connection { return c.conn }
+
+// User implements Client.
+func (c *EdgeClient) User() string { return c.conn.User() }
+
+// Post implements Client.
+func (c *EdgeClient) Post(ws, channel, text string) error {
+	msg := Message{Author: c.User(), Text: text}
+	return c.conn.Update(func(tx *core.Tx) {
+		tx.Map(BucketChannels, ChannelKey(ws, channel)).Seq("messages").Append(msg.Encode())
+		tx.Map(BucketUsers, c.User()).Seq("events").Append("posted:" + ChannelKey(ws, channel))
+	})
+}
+
+// ReadChannel implements Client.
+func (c *EdgeClient) ReadChannel(ws, channel string) ([]Message, edge.ReadSource, error) {
+	tx := c.conn.StartTransaction()
+	id := txn.ObjectID{Bucket: BucketChannels, Key: ChannelKey(ws, channel)}
+	_ = id
+	obj, src, err := readMapTracked(tx, BucketChannels, ChannelKey(ws, channel))
+	if err != nil {
+		return nil, 0, err
+	}
+	msgs, err := messagesOf(obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, 0, err
+	}
+	return msgs, src, nil
+}
+
+// Refresh implements Client: it evicts the channel and re-reads it, which
+// pulls a fresh copy from the collaborative cache (in a group) or from the
+// connected DC.
+func (c *EdgeClient) Refresh(ws, channel string) ([]Message, edge.ReadSource, error) {
+	c.conn.Evict(BucketChannels, ChannelKey(ws, channel))
+	return c.ReadChannel(ws, channel)
+}
+
+// JoinWorkspace implements Client.
+func (c *EdgeClient) JoinWorkspace(ws string) error {
+	return c.conn.Update(func(tx *core.Tx) {
+		tx.Map(BucketWorkspaces, ws).Set("users").Add(c.User())
+		tx.Map(BucketWorkspaces, ws).Register("status/" + c.User()).Assign(StatusOrdinary)
+		tx.Map(BucketUsers, c.User()).Set("workspaces").Add(ws)
+	})
+}
+
+// AddFriend implements Client.
+func (c *EdgeClient) AddFriend(friend string) error {
+	return c.conn.Update(func(tx *core.Tx) {
+		tx.Map(BucketUsers, c.User()).Set("friends").Add(friend)
+	})
+}
+
+// Prefetch warms the client's cache with its workspace's channels.
+func (c *EdgeClient) Prefetch(ws string, channels ...string) error {
+	keys := make([]string, len(channels))
+	for i, ch := range channels {
+		keys[i] = ChannelKey(ws, ch)
+	}
+	return c.conn.Prefetch(BucketChannels, keys...)
+}
+
+// readMapTracked reads an ORMap handle with hit-class tracking via a
+// throwaway counter read (the core API tracks per-read sources on any
+// handle; maps share the same path).
+func readMapTracked(tx *core.Tx, bucket, key string) (*crdt.ORMap, edge.ReadSource, error) {
+	obj, src, err := tx.ReadObjectTracked(bucket, key, crdt.KindORMap)
+	if err != nil {
+		return nil, 0, err
+	}
+	return obj.(*crdt.ORMap), src, nil
+}
+
+// messagesOf extracts the decoded message list from a channel map.
+func messagesOf(m *crdt.ORMap) ([]Message, error) {
+	seq, _ := m.Get("messages").(*crdt.RGA)
+	if seq == nil {
+		return nil, nil
+	}
+	elems := seq.Elements()
+	out := make([]Message, 0, len(elems))
+	for _, e := range elems {
+		msg, err := DecodeMessage(e.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, msg)
+	}
+	return out, nil
+}
+
+// --- cloud-backed client (AntidoteDB configuration) ---
+
+// CloudClient runs every ColonyChat operation as a DC round trip.
+type CloudClient struct {
+	session *core.CloudSession
+	user    string
+}
+
+var _ Client = (*CloudClient)(nil)
+
+// NewCloudClient wraps a cloud session.
+func NewCloudClient(session *core.CloudSession, user string) *CloudClient {
+	return &CloudClient{session: session, user: user}
+}
+
+// User implements Client.
+func (c *CloudClient) User() string { return c.user }
+
+// Post implements Client.
+func (c *CloudClient) Post(ws, channel, text string) error {
+	msg := Message{Author: c.user, Text: text}
+	chID := txn.ObjectID{Bucket: BucketChannels, Key: ChannelKey(ws, channel)}
+	return c.session.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		m, err := readMapAt(read, chID)
+		if err != nil {
+			return err
+		}
+		seq, _ := m.Get("messages").(*crdt.RGA)
+		if seq == nil {
+			seq = crdt.NewRGA()
+		}
+		nested := seq.PrepareInsertAt(seq.Len(), msg.Encode())
+		return update(chID, crdt.KindORMap, m.PrepareUpdate("messages", crdt.KindRGA, nested))
+	})
+}
+
+// ReadChannel implements Client; the hit class is always SourceDC.
+func (c *CloudClient) ReadChannel(ws, channel string) ([]Message, edge.ReadSource, error) {
+	chID := txn.ObjectID{Bucket: BucketChannels, Key: ChannelKey(ws, channel)}
+	var msgs []Message
+	err := c.session.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		m, err := readMapAt(read, chID)
+		if err != nil {
+			return err
+		}
+		msgs, err = messagesOf(m)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return msgs, edge.SourceDC, nil
+}
+
+// Refresh implements Client; without a cache it is a plain read.
+func (c *CloudClient) Refresh(ws, channel string) ([]Message, edge.ReadSource, error) {
+	return c.ReadChannel(ws, channel)
+}
+
+// JoinWorkspace implements Client.
+func (c *CloudClient) JoinWorkspace(ws string) error {
+	wsID := txn.ObjectID{Bucket: BucketWorkspaces, Key: ws}
+	userID := UserID(c.user)
+	user := c.user
+	return c.session.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		m := crdt.NewORMap()
+		addUser := m.PrepareUpdate("users", crdt.KindORSet, crdt.Op{Set: &crdt.ORSetOp{Elem: user}})
+		if err := update(wsID, crdt.KindORMap, addUser); err != nil {
+			return err
+		}
+		status := m.PrepareUpdate("status/"+user, crdt.KindLWWRegister,
+			crdt.Op{LWW: &crdt.LWWRegisterOp{Value: StatusOrdinary}})
+		if err := update(wsID, crdt.KindORMap, status); err != nil {
+			return err
+		}
+		addWS := m.PrepareUpdate("workspaces", crdt.KindORSet, crdt.Op{Set: &crdt.ORSetOp{Elem: ws}})
+		return update(userID, crdt.KindORMap, addWS)
+	})
+}
+
+// AddFriend implements Client.
+func (c *CloudClient) AddFriend(friend string) error {
+	userID := UserID(c.user)
+	return c.session.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		m := crdt.NewORMap()
+		return update(userID, crdt.KindORMap,
+			m.PrepareUpdate("friends", crdt.KindORSet, crdt.Op{Set: &crdt.ORSetOp{Elem: friend}}))
+	})
+}
+
+// readMapAt reads an ORMap through the migrated-transaction read interface,
+// substituting a fresh map for unknown objects.
+func readMapAt(read wire.TxReader, id txn.ObjectID) (*crdt.ORMap, error) {
+	obj, err := read(id)
+	if err != nil {
+		return crdt.NewORMap(), nil
+	}
+	m, ok := obj.(*crdt.ORMap)
+	if !ok {
+		return nil, fmt.Errorf("chat: %s is a %v, want map", id, obj.Kind())
+	}
+	return m, nil
+}
+
+// --- bots ---
+
+// Bot is the reactive user of §7.1: it subscribes to a channel and, upon
+// observing new messages from other users, posts a reply with the
+// configured probability. Bots generate a large share of the update load.
+// A bot never reacts to its own messages (or other bots' replies to it
+// would feed back forever).
+type Bot struct {
+	client *EdgeClient
+	ws, ch string
+	replyP float64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seen    int
+	lastLen int
+	replies int
+	busy    bool
+}
+
+// NewBot attaches a bot to a channel. The bot reacts to update events on the
+// channel object (the reactive-programming pattern of §6.1).
+func NewBot(client *EdgeClient, ws, channel string, replyProbability float64, seed int64) *Bot {
+	b := &Bot{client: client, ws: ws, ch: channel, replyP: replyProbability, rng: rand.New(rand.NewSource(seed))}
+	client.Conn().OnUpdate(BucketChannels, ChannelKey(ws, channel), b.onUpdate)
+	return b
+}
+
+// onUpdate fires on every channel change; the reaction runs asynchronously
+// so the bot never blocks the delivery path.
+func (b *Bot) onUpdate() {
+	b.mu.Lock()
+	b.seen++
+	if b.busy {
+		b.mu.Unlock()
+		return
+	}
+	b.busy = true
+	b.mu.Unlock()
+	go b.react()
+}
+
+// react reads the channel and replies to new foreign messages.
+func (b *Bot) react() {
+	defer func() {
+		b.mu.Lock()
+		b.busy = false
+		b.mu.Unlock()
+	}()
+	msgs, _, err := b.client.ReadChannel(b.ws, b.ch)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	start := b.lastLen
+	if start > len(msgs) {
+		start = len(msgs)
+	}
+	b.lastLen = len(msgs)
+	foreign := 0
+	for _, m := range msgs[start:] {
+		if m.Author != b.client.User() {
+			foreign++
+		}
+	}
+	fire := foreign > 0 && b.rng.Float64() < b.replyP
+	if fire {
+		b.replies++
+	}
+	n := b.replies
+	b.mu.Unlock()
+	if fire {
+		_ = b.client.Post(b.ws, b.ch, fmt.Sprintf("bot-reply-%d", n))
+	}
+}
+
+// Stats returns (events seen, replies posted).
+func (b *Bot) Stats() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen, b.replies
+}

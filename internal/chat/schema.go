@@ -1,0 +1,83 @@
+// Package chat implements ColonyChat, the team-collaboration benchmark
+// application of the paper's evaluation (§7.1), modelled after Slack and
+// Mattermost. Its three entities — users, workspaces and bots — are CRDT
+// objects:
+//
+//   - a *user* has a profile, a list of events, a set of friends and a set
+//     of workspaces she is a member of;
+//   - a *workspace* holds its member users (with a status each) and a set of
+//     channels;
+//   - a *channel* holds a description and the ordered list of messages
+//     posted to it (an RGA sequence, so concurrent posts converge to the
+//     same order everywhere);
+//   - a *bot* is a special user that reacts to messages on a channel.
+//
+// TCC+ keeps the application anomaly-free: an answer is always visible after
+// its question (causality), and the "user is in a workspace iff the
+// workspace is in the user's profile" invariant holds because both updates
+// commit in one atomic transaction.
+package chat
+
+import (
+	"fmt"
+	"strings"
+
+	"colony/internal/txn"
+)
+
+// Buckets used by ColonyChat.
+const (
+	BucketUsers      = "users"
+	BucketWorkspaces = "workspaces"
+	BucketChannels   = "channels"
+)
+
+// UserID returns the object id of a user profile (an ORMap with keys
+// "profile" (register), "friends" (set), "workspaces" (set), "events"
+// (sequence)).
+func UserID(user string) txn.ObjectID {
+	return txn.ObjectID{Bucket: BucketUsers, Key: user}
+}
+
+// WorkspaceID returns the object id of a workspace (an ORMap with keys
+// "users" (set), "channels" (set), and "status/<user>" registers holding
+// owner/ordinary/invited/deleted).
+func WorkspaceID(ws string) txn.ObjectID {
+	return txn.ObjectID{Bucket: BucketWorkspaces, Key: ws}
+}
+
+// ChannelID returns the object id of a channel (an ORMap with keys "desc"
+// (register) and "messages" (sequence)).
+func ChannelID(ws, channel string) txn.ObjectID {
+	return txn.ObjectID{Bucket: BucketChannels, Key: ws + "/" + channel}
+}
+
+// ChannelKey returns the key part of ChannelID.
+func ChannelKey(ws, channel string) string { return ws + "/" + channel }
+
+// The user statuses within a workspace (§7.1).
+const (
+	StatusOwner    = "owner"
+	StatusOrdinary = "ordinary"
+	StatusInvited  = "invited"
+	StatusDeleted  = "deleted"
+)
+
+// Message is one chat message as stored in a channel's sequence.
+type Message struct {
+	Author string
+	Text   string
+}
+
+// Encode renders the message for storage ("author|text"). Text may contain
+// '|'; only the first separator is structural.
+func (m Message) Encode() string { return m.Author + "|" + m.Text }
+
+// DecodeMessage parses a stored message.
+func DecodeMessage(s string) (Message, error) {
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return Message{}, fmt.Errorf("chat: malformed message %q", s)
+	}
+	return Message{Author: s[:i], Text: s[i+1:]}, nil
+}

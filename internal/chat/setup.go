@@ -1,0 +1,72 @@
+package chat
+
+import (
+	"fmt"
+
+	"colony/internal/core"
+)
+
+// Populate creates the trace's static structure — workspaces, channels and
+// workspace memberships — through an administrative connection, so every
+// client starts from an initialised universe (§7.3: "all users start with an
+// initialised cache").
+func Populate(admin *core.Connection, tr *Trace) error {
+	cfg := tr.Config
+	// Workspaces and channels.
+	for w := 0; w < cfg.Workspaces; w++ {
+		ws := WorkspaceName(w)
+		err := admin.Update(func(tx *core.Tx) {
+			tx.Map(BucketWorkspaces, ws).Register("desc").Assign("workspace " + ws)
+			for c := 0; c < cfg.ChannelsPerWS; c++ {
+				ch := ChannelName(c)
+				tx.Map(BucketWorkspaces, ws).Set("channels").Add(ch)
+				tx.Map(BucketChannels, ChannelKey(ws, ch)).Register("desc").
+					Assign(fmt.Sprintf("channel %s in %s", ch, ws))
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("chat: populate %s: %w", ws, err)
+		}
+	}
+	// Memberships, batched: one transaction per workspace per chunk of
+	// users, so populating thousands of users costs tens — not thousands —
+	// of WAN round trips. Each user's two sides of the membership invariant
+	// still commit atomically (they are in the same transaction).
+	const chunk = 50
+	byWS := make(map[int][]string)
+	for u, wss := range tr.Membership {
+		for _, w := range wss {
+			byWS[w] = append(byWS[w], UserName(u))
+		}
+	}
+	for w, users := range byWS {
+		ws := WorkspaceName(w)
+		for start := 0; start < len(users); start += chunk {
+			end := start + chunk
+			if end > len(users) {
+				end = len(users)
+			}
+			batch := users[start:end]
+			err := admin.Update(func(tx *core.Tx) {
+				for _, user := range batch {
+					tx.Map(BucketWorkspaces, ws).Set("users").Add(user)
+					tx.Map(BucketWorkspaces, ws).Register("status/" + user).Assign(StatusOrdinary)
+					tx.Map(BucketUsers, user).Set("workspaces").Add(ws)
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("chat: membership batch %s: %w", ws, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Channels lists every channel key of a workspace.
+func Channels(cfg TraceConfig, ws string) []string {
+	out := make([]string, cfg.ChannelsPerWS)
+	for c := range out {
+		out[c] = ChannelKey(ws, ChannelName(c))
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package chat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// TraceConfig parameterises the synthetic workload. The defaults reproduce
+// the published statistics of the paper's Mattermost trace (§7.1): ~2,000
+// users over 3 workspaces with ~20 channels each; 10% of the users are bots;
+// actions follow a 90/10 read/write ratio; the per-user activity follows a
+// Pareto distribution where 20% of users perform 80% of the operations; a
+// user refreshes its local copy of a channel every 5 transactions; activity
+// follows a diurnal cycle. The trace is accelerated to run in minutes (here:
+// seconds, via the cluster's latency scale).
+type TraceConfig struct {
+	Users         int
+	Workspaces    int
+	ChannelsPerWS int
+	// BigWorkspaceShare puts this fraction of all users in workspace 0 (the
+	// paper's trace has one workspace with 1,000 of the 2,000 users).
+	BigWorkspaceShare float64
+	BotFraction       float64
+	ReadRatio         float64
+	// ParetoAlpha shapes user activity; 1.16 yields the classic 80/20 rule.
+	ParetoAlpha  float64
+	RefreshEvery int
+	// OutsideReadShare is the probability that a read targets a random
+	// workspace rather than one of the user's own — the cold/foreign
+	// accesses that miss the local cache (≈10% in the paper's measured
+	// hit rates).
+	OutsideReadShare float64
+	// Actions is the total number of trace actions to generate.
+	Actions int
+	// Duration spreads the actions over this much (virtual) time with a
+	// diurnal modulation; 0 disables pacing (At stays zero).
+	Duration time.Duration
+	Diurnal  bool
+	Seed     int64
+}
+
+// DefaultTraceConfig returns the paper's workload scaled by a factor: scale
+// 1.0 is the full 2,000-user trace; experiments typically run 0.02–0.1.
+func DefaultTraceConfig(scale float64, actions int, seed int64) TraceConfig {
+	users := int(2000 * scale)
+	if users < 4 {
+		users = 4
+	}
+	return TraceConfig{
+		Users:             users,
+		Workspaces:        3,
+		ChannelsPerWS:     20,
+		BigWorkspaceShare: 0.5,
+		BotFraction:       0.10,
+		ReadRatio:         0.90,
+		ParetoAlpha:       1.16,
+		RefreshEvery:      5,
+		OutsideReadShare:  0.10,
+		Actions:           actions,
+		Seed:              seed,
+	}
+}
+
+// ActionType classifies a trace action.
+type ActionType int
+
+// The action types.
+const (
+	ActRead ActionType = iota + 1
+	ActPost
+	ActRefresh
+)
+
+// String names the type.
+func (a ActionType) String() string {
+	switch a {
+	case ActRead:
+		return "read"
+	case ActPost:
+		return "post"
+	case ActRefresh:
+		return "refresh"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Action is one trace step.
+type Action struct {
+	// User is the acting user's index.
+	User int
+	Type ActionType
+	// Workspace/Channel name the target channel.
+	Workspace string
+	Channel   string
+	// Cold marks a read outside the user's warm working set (a foreign or
+	// evicted channel); it misses the local cache by construction. Cold
+	// reads are what keep the measured hit rates at the paper's ~90%.
+	Cold bool
+	// At is the virtual offset from trace start (zero without pacing).
+	At time.Duration
+}
+
+// Trace is a generated workload plus its static structure.
+type Trace struct {
+	Config  TraceConfig
+	Actions []Action
+	// Membership maps user index → workspace indices.
+	Membership [][]int
+	// Bots flags bot users.
+	Bots []bool
+}
+
+// UserName renders the canonical user name for an index.
+func UserName(i int) string { return fmt.Sprintf("user%04d", i) }
+
+// WorkspaceName renders the canonical workspace name.
+func WorkspaceName(i int) string { return fmt.Sprintf("ws%d", i) }
+
+// ChannelName renders the canonical channel name.
+func ChannelName(i int) string { return fmt.Sprintf("chan%02d", i) }
+
+// Generate builds a deterministic trace for the configuration.
+func Generate(cfg TraceConfig) *Trace {
+	if cfg.Users <= 0 || cfg.Workspaces <= 0 || cfg.ChannelsPerWS <= 0 || cfg.Actions < 0 {
+		panic("chat: invalid trace config")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		Config:     cfg,
+		Membership: make([][]int, cfg.Users),
+		Bots:       make([]bool, cfg.Users),
+	}
+
+	// Memberships: a BigWorkspaceShare of the users joins workspace 0 (the
+	// paper's trace has one workspace with 1,000 of the 2,000 users); every
+	// user additionally joins 1–2 of the remaining workspaces, so users can
+	// be members of several.
+	for u := 0; u < cfg.Users; u++ {
+		seen := make(map[int]bool, 3)
+		if cfg.Workspaces == 1 || rng.Float64() < cfg.BigWorkspaceShare {
+			seen[0] = true
+		}
+		if cfg.Workspaces > 1 {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				seen[1+rng.Intn(cfg.Workspaces-1)] = true
+			}
+		}
+		for ws := range seen {
+			tr.Membership[u] = append(tr.Membership[u], ws)
+		}
+		sort.Ints(tr.Membership[u])
+	}
+	// Bots: the last BotFraction of the user ids.
+	nBots := int(float64(cfg.Users) * cfg.BotFraction)
+	for u := cfg.Users - nBots; u < cfg.Users; u++ {
+		tr.Bots[u] = true
+	}
+
+	// Pareto weights: 20% of the users execute 80% of the operations.
+	weights := make([]float64, cfg.Users)
+	var total float64
+	alpha := cfg.ParetoAlpha
+	if alpha <= 0 {
+		alpha = 1.16
+	}
+	for u := range weights {
+		// Inverse-CDF sampling of Pareto(x_m=1, alpha).
+		weights[u] = math.Pow(1.0-rng.Float64(), -1.0/alpha)
+		total += weights[u]
+	}
+	cum := make([]float64, cfg.Users)
+	run := 0.0
+	for u, w := range weights {
+		run += w / total
+		cum[u] = run
+	}
+	pickUser := func() int {
+		x := rng.Float64()
+		lo, hi := 0, cfg.Users-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Per-user transaction counters drive the every-5th refresh.
+	txCount := make([]int, cfg.Users)
+	refresh := cfg.RefreshEvery
+	if refresh <= 0 {
+		refresh = 5
+	}
+
+	tr.Actions = make([]Action, 0, cfg.Actions)
+	for i := 0; i < cfg.Actions; i++ {
+		u := pickUser()
+		wss := tr.Membership[u]
+		ws := wss[rng.Intn(len(wss))]
+		cold := cfg.OutsideReadShare > 0 && rng.Float64() < cfg.OutsideReadShare
+		if cold && cfg.Workspaces > 1 {
+			ws = rng.Intn(cfg.Workspaces)
+		}
+		ch := rng.Intn(cfg.ChannelsPerWS)
+		act := Action{
+			User:      u,
+			Workspace: WorkspaceName(ws),
+			Channel:   ChannelName(ch),
+			Cold:      cold,
+		}
+		txCount[u]++
+		switch {
+		case txCount[u]%refresh == 0:
+			act.Type = ActRefresh
+		case rng.Float64() < cfg.ReadRatio:
+			act.Type = ActRead
+		default:
+			act.Type = ActPost
+		}
+		if cfg.Duration > 0 {
+			frac := float64(i) / float64(cfg.Actions)
+			at := time.Duration(frac * float64(cfg.Duration))
+			if cfg.Diurnal {
+				// Compress activity into the "day": shift each action by a
+				// sinusoidal modulation of up to 10% of the duration.
+				at += time.Duration(0.1 * float64(cfg.Duration) * math.Sin(2*math.Pi*frac) / (2 * math.Pi))
+			}
+			act.At = at
+		}
+		tr.Actions = append(tr.Actions, act)
+	}
+	return tr
+}
+
+// Stats summarises a trace (used by tests and EXPERIMENTS.md).
+type TraceStats struct {
+	Reads, Posts, Refreshes int
+	// Top20Share is the fraction of actions performed by the most active
+	// 20% of users.
+	Top20Share float64
+	BotUsers   int
+}
+
+// Stats computes trace statistics.
+func (t *Trace) Stats() TraceStats {
+	var st TraceStats
+	perUser := make([]int, t.Config.Users)
+	for _, a := range t.Actions {
+		perUser[a.User]++
+		switch a.Type {
+		case ActRead:
+			st.Reads++
+		case ActPost:
+			st.Posts++
+		case ActRefresh:
+			st.Refreshes++
+		}
+	}
+	for _, b := range t.Bots {
+		if b {
+			st.BotUsers++
+		}
+	}
+	// Share of the top 20% most active users.
+	counts := append([]int(nil), perUser...)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := len(counts) / 5
+	if top == 0 {
+		top = 1
+	}
+	sumTop, sum := 0, 0
+	for i, c := range counts {
+		sum += c
+		if i < top {
+			sumTop += c
+		}
+	}
+	if sum > 0 {
+		st.Top20Share = float64(sumTop) / float64(sum)
+	}
+	return st
+}

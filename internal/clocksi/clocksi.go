@@ -1,0 +1,282 @@
+package clocksi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"colony/internal/crdt"
+	"colony/internal/store"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// Errors returned by shards and the coordinator.
+var (
+	ErrNotPrepared = errors.New("clocksi: transaction not prepared")
+	ErrAborted     = errors.New("clocksi: transaction aborted")
+)
+
+// Clock is a loosely-synchronised logical clock, one per shard server.
+// ClockSI assumes clocks that may be skewed but move forward; Skew models a
+// constant offset from true time. Timestamps are logical (monotonic
+// counters) rather than wall time, which preserves the protocol structure —
+// commit timestamps are the maximum over the prepare timestamps of the
+// involved shards — without tying experiments to the host clock.
+type Clock struct {
+	mu   sync.Mutex
+	last uint64
+	skew uint64
+}
+
+// NewClock returns a clock starting at skew (a constant offset modelling
+// imperfect synchronisation between the DC's servers).
+func NewClock(skew uint64) *Clock { return &Clock{last: skew, skew: skew} }
+
+// Tick advances the clock and returns a fresh timestamp.
+func (c *Clock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last++
+	return c.last
+}
+
+// Witness moves the clock to at least ts (a snapshot timestamp observed by a
+// read, or a commit timestamp from the coordinator). In ClockSI a shard
+// whose clock lags a snapshot must delay the read until its clock catches
+// up; with logical clocks the catch-up is immediate.
+func (c *Clock) Witness(ts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts > c.last {
+		c.last = ts
+	}
+}
+
+// Now returns the current timestamp without advancing.
+func (c *Clock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Shard is one storage server inside a DC. It owns the partition of objects
+// the ring assigns to it, holds prepared-but-uncommitted transactions, and
+// participates in the ClockSI two-phase commit.
+type Shard struct {
+	name  string
+	clock *Clock
+
+	mu       sync.Mutex
+	store    *store.Store
+	prepared map[vclock.Dot]*txn.Transaction
+}
+
+// NewShard creates a shard named name with the given clock skew.
+func NewShard(name string, skew uint64) *Shard {
+	return &Shard{
+		name:     name,
+		clock:    NewClock(skew),
+		store:    store.New(name),
+		prepared: make(map[vclock.Dot]*txn.Transaction),
+	}
+}
+
+// Name returns the shard's name.
+func (s *Shard) Name() string { return s.name }
+
+// Prepare is phase one of ClockSI 2PC: the shard buffers its partition of
+// the transaction and votes with a prepare timestamp drawn from its local
+// clock. The final commit timestamp will be at least this value.
+func (s *Shard) Prepare(part *txn.Transaction) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store.Contains(part.Dot) {
+		return 0, store.ErrDuplicate
+	}
+	if _, dup := s.prepared[part.Dot]; dup {
+		return 0, store.ErrDuplicate
+	}
+	s.prepared[part.Dot] = part
+	return s.clock.Tick(), nil
+}
+
+// Commit is phase two: the shard durably applies its partition with the
+// commit stamps decided by the coordinator and releases the prepare record.
+func (s *Shard) Commit(dot vclock.Dot, commit vclock.CommitStamps) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	part, ok := s.prepared[dot]
+	if !ok {
+		return fmt.Errorf("commit %s on %s: %w", dot, s.name, ErrNotPrepared)
+	}
+	delete(s.prepared, dot)
+	part.Commit = commit.Clone()
+	for _, ts := range commit {
+		s.clock.Witness(ts)
+	}
+	return s.store.Apply(part)
+}
+
+// Abort discards a prepared transaction.
+func (s *Shard) Abort(dot vclock.Dot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.prepared, dot)
+}
+
+// ApplyCommitted installs an already-committed transaction partition
+// (replicated from another DC, or accepted from an edge node) without 2PC.
+func (s *Shard) ApplyCommitted(part *txn.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ts := range part.Commit {
+		s.clock.Witness(ts)
+	}
+	return s.store.Apply(part)
+}
+
+// Read materialises the shard's copy of id at the snapshot vector at. The
+// shard witnesses the snapshot's timestamps first — the ClockSI rule that a
+// read must not run before the shard clock reaches the snapshot.
+func (s *Shard) Read(id txn.ObjectID, at vclock.Vector, opts store.ReadOptions) (crdt.Object, error) {
+	for _, ts := range at {
+		s.clock.Witness(ts)
+	}
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	return st.Read(id, at, opts)
+}
+
+// Has reports whether the shard stores any state for id.
+func (s *Shard) Has(id txn.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Has(id)
+}
+
+// Contains reports whether the shard has applied transaction dot.
+func (s *Shard) Contains(dot vclock.Dot) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Contains(dot)
+}
+
+// Advance folds journal entries below cut into base versions.
+func (s *Shard) Advance(cut vclock.Vector, keepDots bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Advance(cut, keepDots)
+}
+
+// PreparedCount reports the number of in-flight prepared transactions
+// (exposed for tests and monitoring).
+func (s *Shard) PreparedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// Coordinator drives the ClockSI two-phase commit across the shards of one
+// DC and routes reads.
+type Coordinator struct {
+	ring   *Ring
+	shards map[string]*Shard
+}
+
+// NewCoordinator builds a coordinator over the given shards.
+func NewCoordinator(shards []*Shard, vnodes int) (*Coordinator, error) {
+	names := make([]string, len(shards))
+	byName := make(map[string]*Shard, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name()
+		byName[s.Name()] = s
+	}
+	ring, err := NewRing(names, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{ring: ring, shards: byName}, nil
+}
+
+// Ring exposes the coordinator's placement ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Shard returns the shard responsible for id.
+func (c *Coordinator) Shard(id txn.ObjectID) *Shard {
+	return c.shards[c.ring.Lookup(id)]
+}
+
+// Commit runs the ClockSI 2PC for t: prepare on every involved shard,
+// decide the commit timestamp via assign (which receives the largest prepare
+// timestamp and returns the DC index and final timestamp — the DC sequencer
+// guarantees monotonicity), then commit everywhere. On any prepare failure
+// the transaction aborts cleanly.
+func (c *Coordinator) Commit(t *txn.Transaction, assign func(maxPrepare uint64) (int, uint64)) (vclock.CommitStamps, error) {
+	parts := c.ring.Partition(t)
+	prepared := make([]*Shard, 0, len(parts))
+	var maxPrepare uint64
+	for name, part := range parts {
+		shard := c.shards[name]
+		ts, err := shard.Prepare(part)
+		if err != nil {
+			for _, p := range prepared {
+				p.Abort(t.Dot)
+			}
+			if errors.Is(err, store.ErrDuplicate) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: prepare on %s: %v", ErrAborted, name, err)
+		}
+		prepared = append(prepared, shard)
+		if ts > maxPrepare {
+			maxPrepare = ts
+		}
+	}
+	dcIdx, ts := assign(maxPrepare)
+	stamps := vclock.CommitStamps{dcIdx: ts}
+	for _, shard := range prepared {
+		if err := shard.Commit(t.Dot, stamps); err != nil {
+			return nil, fmt.Errorf("clocksi: commit phase on %s: %w", shard.Name(), err)
+		}
+	}
+	return stamps, nil
+}
+
+// ApplyCommitted routes an externally committed transaction to the involved
+// shards, idempotently.
+func (c *Coordinator) ApplyCommitted(t *txn.Transaction) error {
+	for name, part := range c.ring.Partition(t) {
+		if err := c.shards[name].ApplyCommitted(part); err != nil && !errors.Is(err, store.ErrDuplicate) {
+			return fmt.Errorf("clocksi: apply on %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Read routes a snapshot read to the responsible shard.
+func (c *Coordinator) Read(id txn.ObjectID, at vclock.Vector, opts store.ReadOptions) (crdt.Object, error) {
+	return c.Shard(id).Read(id, at, opts)
+}
+
+// Contains reports whether the transaction was applied on every shard it
+// touches (true also for transactions touching no local objects).
+func (c *Coordinator) Contains(t *txn.Transaction) bool {
+	for name := range c.ring.Partition(t) {
+		if !c.shards[name].Contains(t.Dot) {
+			return false
+		}
+	}
+	return true
+}
+
+// Advance folds journals below cut on every shard.
+func (c *Coordinator) Advance(cut vclock.Vector, keepDots bool) error {
+	for _, s := range c.shards {
+		if err := s.Advance(cut, keepDots); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"colony/internal/acl"
+	"colony/internal/crdt"
+	"colony/internal/group"
+	"colony/internal/security"
+	"colony/internal/txn"
+	"colony/internal/wire"
+)
+
+// newCluster builds a fast (no latency) cluster for unit tests.
+func newCluster(t *testing.T, dcs int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{DCs: dcs, ShardsPerDC: 2, K: 1, Heartbeat: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func connect(t *testing.T, c *Cluster, name string, dcIdx int) *Connection {
+	t.Helper()
+	conn, err := c.Connect(ConnectOptions{Name: name, DC: dcIdx, RetryInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(conn.Close)
+	return conn
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+// TestFigure3Program reproduces the paper's example program (§6.1): open a
+// session, increment a counter, then in a transaction update a map holding a
+// register and a set, commit, and read the set back.
+func TestFigure3Program(t *testing.T) {
+	cluster := newCluster(t, 3)
+	conn := connect(t, cluster, "client1", 0)
+
+	// let cnt = dc_connection.counter("myCounter"); update(cnt.increment(3))
+	if err := conn.Update(func(tx *Tx) {
+		tx.Counter("app", "myCounter").Increment(3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// tx.update([map.register("a").assign(42), map.set("e").addAll(1,2,3,4)])
+	tx := conn.StartTransaction()
+	m := tx.Map("app", "myMap")
+	m.Register("a").Assign("42")
+	m.Set("e").AddAll("1", "2", "3", "4")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// read() of the set after commit.
+	rd := conn.StartTransaction()
+	elems, err := rd.Map("app", "myMap").Set("e").Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 4 {
+		t.Fatalf("set = %v", elems)
+	}
+	a, err := rd.Map("app", "myMap").Register("a").Read()
+	if err != nil || a != "42" {
+		t.Fatalf("register = %q, %v", a, err)
+	}
+	cnt, err := rd.Counter("app", "myCounter").Read()
+	if err != nil || cnt != 3 {
+		t.Fatalf("counter = %d, %v", cnt, err)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllHandleKinds(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn := connect(t, cluster, "client1", 0)
+
+	tx := conn.StartTransaction()
+	tx.Register("b", "reg").Assign("v1")
+	tx.Set("b", "set").AddAll("x", "y")
+	tx.Flag("b", "flag").Enable()
+	tx.Seq("b", "doc").Append("hello ")
+	tx.Seq("b", "doc").Append("world")
+	tx.Map("b", "m").Counter("hits").Increment(2)
+	tx.Map("b", "m").Seq("log").Append("e1")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := conn.StartTransaction()
+	if v, _ := rd.Register("b", "reg").Read(); v != "v1" {
+		t.Errorf("register = %q", v)
+	}
+	if ok, _ := rd.Set("b", "set").Contains("x"); !ok {
+		t.Error("set missing x")
+	}
+	if on, _ := rd.Flag("b", "flag").Enabled(); !on {
+		t.Error("flag off")
+	}
+	if s, _ := rd.Seq("b", "doc").String(); s != "hello world" {
+		t.Errorf("doc = %q", s)
+	}
+	if n, _ := rd.Map("b", "m").Counter("hits").Read(); n != 2 {
+		t.Errorf("nested counter = %d", n)
+	}
+	if items, _ := rd.Map("b", "m").Seq("log").Read(); len(items) != 1 || items[0] != "e1" {
+		t.Errorf("nested seq = %v", items)
+	}
+	keys, _ := rd.Map("b", "m").Keys()
+	if len(keys) != 2 {
+		t.Errorf("map keys = %v", keys)
+	}
+
+	// Removals.
+	tx2 := conn.StartTransaction()
+	tx2.Set("b", "set").Remove("x")
+	tx2.Flag("b", "flag").Disable()
+	tx2.Seq("b", "doc").DeleteAt(0)
+	tx2.Map("b", "m").RemoveKey("log")
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rd2 := conn.StartTransaction()
+	if ok, _ := rd2.Set("b", "set").Contains("x"); ok {
+		t.Error("x survived removal")
+	}
+	if on, _ := rd2.Flag("b", "flag").Enabled(); on {
+		t.Error("flag still on")
+	}
+	if s, _ := rd2.Seq("b", "doc").String(); s != "world" {
+		t.Errorf("doc after delete = %q", s)
+	}
+	if keys, _ := rd2.Map("b", "m").Keys(); len(keys) != 1 {
+		t.Errorf("map keys after remove = %v", keys)
+	}
+}
+
+func TestTxErrorPropagation(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn := connect(t, cluster, "client1", 0)
+	tx := conn.StartTransaction()
+	tx.Seq("b", "doc").DeleteAt(99) // out of range on an empty sequence
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit must surface handle errors")
+	}
+}
+
+func TestCrossClientConvergence(t *testing.T) {
+	cluster := newCluster(t, 3)
+	a := connect(t, cluster, "clientA", 0)
+	b := connect(t, cluster, "clientB", 1)
+	if err := a.Prefetch("app", "cnt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Prefetch("app", "cnt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(func(tx *Tx) { tx.Counter("app", "cnt").Increment(4) }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		rd := b.StartTransaction()
+		v, err := rd.Counter("app", "cnt").Read()
+		return err == nil && v == 4
+	}, "clientB never converged")
+}
+
+func TestUpdateEventsFire(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn := connect(t, cluster, "client1", 0)
+	if err := conn.Prefetch("app", "cnt"); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan struct{}, 4)
+	conn.OnUpdate("app", "cnt", func() { events <- struct{}{} })
+	if err := conn.Update(func(tx *Tx) { tx.Counter("app", "cnt").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-events:
+	case <-time.After(time.Second):
+		t.Fatal("no update event")
+	}
+}
+
+func TestLRUCacheLimit(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn, err := cluster.Connect(ConnectOptions{
+		Name: "small", DC: 0, CacheLimit: 2, RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(conn.Close)
+	for i := 0; i < 4; i++ {
+		if err := conn.Update(func(tx *Tx) {
+			tx.Counter("app", fmt.Sprintf("k%d", i)).Increment(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return conn.Node().UnackedCount() == 0 }, "acks")
+	// Only the 2 most recent objects remain cached.
+	st := conn.Node().Store()
+	cached := 0
+	for i := 0; i < 4; i++ {
+		if st.Has(txn.ObjectID{Bucket: "app", Key: fmt.Sprintf("k%d", i)}) {
+			cached++
+		}
+	}
+	if cached != 2 {
+		t.Fatalf("cached = %d, want 2", cached)
+	}
+}
+
+func TestGroupLifecycleThroughAPI(t *testing.T) {
+	cluster := newCluster(t, 1)
+	parent := group.NewParent(cluster.Network(), group.ParentConfig{
+		Name: "pop1", DC: cluster.DCName(0), RetryInterval: 5 * time.Millisecond,
+	})
+	t.Cleanup(parent.Close)
+	if err := parent.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	a := connect(t, cluster, "ga", 0)
+	b := connect(t, cluster, "gb", 0)
+	for _, cn := range []*Connection{a, b} {
+		if err := cn.JoinGroup("pop1", group.VariantAsync); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Member() == nil {
+		t.Fatal("membership handle missing")
+	}
+	if err := a.JoinGroup("pop1", group.VariantAsync); !errors.Is(err, ErrInGroup) {
+		t.Fatalf("double join = %v", err)
+	}
+	if err := a.Prefetch("app", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Prefetch("app", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(func(tx *Tx) { tx.Counter("app", "shared").Increment(7) }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		rd := b.StartTransaction()
+		v, err := rd.Counter("app", "shared").Read()
+		return err == nil && v == 7
+	}, "group propagation")
+	if err := b.LeaveGroup(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LeaveGroup(0); !errors.Is(err, ErrNotInGroup) {
+		t.Fatalf("double leave = %v", err)
+	}
+}
+
+func TestCloudSession(t *testing.T) {
+	cluster := newCluster(t, 1)
+	s := cluster.CloudConnect("cc1", "alice", 0)
+	t.Cleanup(s.Close)
+	err := s.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		return update(txn.ObjectID{Bucket: "app", Key: "x"}, crdt.KindCounter,
+			crdt.Op{Counter: &crdt.CounterOp{Delta: 6}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	err = s.Do(func(read wire.TxReader, update wire.TxUpdater) error {
+		obj, err := read(txn.ObjectID{Bucket: "app", Key: "x"})
+		if err != nil {
+			return err
+		}
+		got = obj.(*crdt.Counter).Total()
+		return nil
+	})
+	if err != nil || got != 6 {
+		t.Fatalf("cloud read = %d, %v", got, err)
+	}
+}
+
+func TestACLEndToEnd(t *testing.T) {
+	cluster := newCluster(t, 1)
+	secret := txn.ObjectID{Bucket: "vault", Key: "doc"}
+	cluster.Policy().Grant(acl.Rule{Object: secret, User: "alice", Perm: acl.PermWrite})
+	cluster.RefreshVisibility()
+
+	alice := connect(t, cluster, "alice", 0)
+	mallory := connect(t, cluster, "mallory", 0)
+	watcher := connect(t, cluster, "watcher", 0)
+	if err := watcher.Prefetch("vault", "doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Update(func(tx *Tx) { tx.Counter("vault", "doc").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mallory.Update(func(tx *Tx) { tx.Counter("vault", "doc").Increment(100) }); err != nil {
+		t.Fatal(err) // commits locally; the DC masks it
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		rd := watcher.StartTransaction()
+		v, err := rd.Counter("vault", "doc").Read()
+		return err == nil && v == 1
+	}, "alice's update never became visible")
+	// Give mallory's update a chance to (wrongly) appear.
+	time.Sleep(100 * time.Millisecond)
+	rd := watcher.StartTransaction()
+	if v, _ := rd.Counter("vault", "doc").Read(); v != 1 {
+		t.Fatalf("masked update leaked: %d", v)
+	}
+	if cluster.DC(0).MaskedCount() == 0 {
+		t.Fatal("DC recorded no masked transactions")
+	}
+
+	// Policy change unmasks retroactively (§5.3: the window is dynamic).
+	cluster.Policy().Grant(acl.Rule{Object: secret, User: "mallory", Perm: acl.PermWrite})
+	cluster.RefreshVisibility()
+	waitFor(t, 2*time.Second, func() bool {
+		rd := watcher.StartTransaction()
+		v, err := rd.Counter("vault", "doc").Read()
+		return err == nil && v == 101
+	}, "unmasked update never arrived")
+}
+
+func TestSessionKeysViaConnection(t *testing.T) {
+	cluster := newCluster(t, 1)
+	a := connect(t, cluster, "alice", 0)
+	b := connect(t, cluster, "bob", 0)
+	ka, err := a.ObjectKey("docs", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.ObjectKey("docs", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := security.SealString(ka, "secret text", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := security.OpenString(kb, env, nil)
+	if err != nil || pt != "secret text" {
+		t.Fatalf("cross-client decryption = %q, %v", pt, err)
+	}
+}
+
+func TestMigrateDCViaAPI(t *testing.T) {
+	cluster := newCluster(t, 3)
+	conn := connect(t, cluster, "mob", 0)
+	if err := conn.Prefetch("app", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Update(func(tx *Tx) { tx.Counter("app", "x").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.MigrateDC(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Update(func(tx *Tx) { tx.Counter("app", "x").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return conn.Node().UnackedCount() == 0 }, "acks after migration")
+	waitFor(t, 3*time.Second, func() bool {
+		obj, err := cluster.DC(2).ReadAt(txn.ObjectID{Bucket: "app", Key: "x"}, cluster.DC(2).State())
+		return err == nil && obj.(*crdt.Counter).Total() == 2
+	}, "dc2 state after migration")
+}
+
+func TestAuthRequired(t *testing.T) {
+	cluster := newCluster(t, 1)
+	cluster.Sessions().Register("carol", "pw")
+	if _, err := cluster.Connect(ConnectOptions{
+		Name: "c1", User: "carol", Secret: "wrong", RequireRegistration: true,
+	}); err == nil {
+		t.Fatal("wrong secret accepted")
+	}
+	conn, err := cluster.Connect(ConnectOptions{
+		Name: "c2", User: "carol", Secret: "pw", RequireRegistration: true,
+		RetryInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+func TestMVRegisterSurfacesConflicts(t *testing.T) {
+	cluster := newCluster(t, 3)
+	a := connect(t, cluster, "mva", 0)
+	b := connect(t, cluster, "mvb", 1)
+	for _, cn := range []*Connection{a, b} {
+		if err := cn.Prefetch("app", "mv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Concurrent assignments from two DCs: both survive.
+	if err := a.Update(func(tx *Tx) { tx.MVRegister("app", "mv").Assign("from-a") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(func(tx *Tx) { tx.MVRegister("app", "mv").Assign("from-b") }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		tx := a.StartTransaction()
+		vals, err := tx.MVRegister("app", "mv").Read()
+		return err == nil && len(vals) == 2
+	}, "concurrent values never both visible")
+	// A causally later assignment collapses the conflict.
+	if err := a.Update(func(tx *Tx) { tx.MVRegister("app", "mv").Assign("resolved") }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		tx := b.StartTransaction()
+		vals, err := tx.MVRegister("app", "mv").Read()
+		return err == nil && len(vals) == 1 && vals[0] == "resolved"
+	}, "conflict never resolved at the peer")
+}
+
+func TestCompactKeepsValuesAndDedup(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn := connect(t, cluster, "cmp", 0)
+	if err := conn.Prefetch("app", "c"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := conn.Update(func(tx *Tx) { tx.Counter("app", "c").Increment(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.DC(0).Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Values survive compaction, and the dot filter still rejects replays.
+	obj, err := cluster.DC(0).ReadAt(txn.ObjectID{Bucket: "app", Key: "c"}, cluster.DC(0).State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*crdt.Counter).Total(); got != 10 {
+		t.Fatalf("total after compact = %d", got)
+	}
+	// New commits still work after compaction.
+	if err := conn.Update(func(tx *Tx) { tx.Counter("app", "c").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		obj, err := cluster.DC(0).ReadAt(txn.ObjectID{Bucket: "app", Key: "c"}, cluster.DC(0).State())
+		return err == nil && obj.(*crdt.Counter).Total() == 11
+	}, "post-compact commit lost")
+}
+
+func TestRunAtDCViaConnection(t *testing.T) {
+	cluster := newCluster(t, 1)
+	conn := connect(t, cluster, "heavy", 0)
+	if err := conn.Prefetch("app", "big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Update(func(tx *Tx) { tx.Counter("app", "big").Increment(4) }); err != nil {
+		t.Fatal(err)
+	}
+	// Ship an analytics-style transaction to the DC (§3.9): it must observe
+	// the session's own (possibly still unacknowledged) writes.
+	err := conn.RunAtDC(func(read wire.TxReader, update wire.TxUpdater) error {
+		obj, err := read(txn.ObjectID{Bucket: "app", Key: "big"})
+		if err != nil {
+			return err
+		}
+		total := obj.(*crdt.Counter).Total()
+		if total != 4 {
+			return fmt.Errorf("migrated tx saw %d, want 4", total)
+		}
+		return update(txn.ObjectID{Bucket: "app", Key: "big"}, crdt.KindCounter,
+			crdt.Op{Counter: &crdt.CounterOp{Delta: total * 10}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		tx := conn.StartTransaction()
+		v, err := tx.Counter("app", "big").Read()
+		return err == nil && v == 44
+	}, "migrated tx result never came back")
+}

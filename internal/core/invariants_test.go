@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"colony/internal/group"
+	"colony/internal/txn"
+)
+
+// These tests check the TCC+ invariants of §3.1 end to end, through the
+// public API, across DCs and groups, under concurrency and faults.
+
+// TestInvariantRollbackFreedom: once a node has read a value it never rolls
+// it back — counter reads are monotonically non-decreasing at every client,
+// even while remote updates stream in and the client flips offline/online.
+func TestInvariantRollbackFreedom(t *testing.T) {
+	cluster := newCluster(t, 3)
+	reader := connect(t, cluster, "reader", 0)
+	writer := connect(t, cluster, "writer", 1)
+	if err := reader.Prefetch("inv", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Prefetch("inv", "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			_ = writer.Update(func(tx *Tx) { tx.Counter("inv", "x").Increment(1) })
+			time.Sleep(2 * time.Millisecond)
+		}
+		close(stop)
+	}()
+
+	var last int64 = -1
+	flip := 0
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		default:
+		}
+		tx := reader.StartTransaction()
+		v, err := tx.Counter("inv", "x").Read()
+		if err == nil {
+			if v < last {
+				t.Fatalf("rollback: read %d after %d", v, last)
+			}
+			last = v
+		}
+		flip++
+		if flip%20 == 10 {
+			cluster.Network().Isolate("reader")
+		}
+		if flip%20 == 0 {
+			cluster.Network().Rejoin("reader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInvariantAtomicity: a transaction updating two objects is visible
+// all-or-nothing — a reader transaction never observes the two counters
+// out of step.
+func TestInvariantAtomicity(t *testing.T) {
+	cluster := newCluster(t, 3)
+	writer := connect(t, cluster, "writer", 0)
+	reader := connect(t, cluster, "reader", 2)
+	for _, cn := range []*Connection{writer, reader} {
+		if err := cn.Prefetch("inv", "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 25; i++ {
+			_ = writer.Update(func(tx *Tx) {
+				tx.Counter("inv", "a").Increment(1)
+				tx.Counter("inv", "b").Increment(1)
+			})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		tx := reader.StartTransaction()
+		a, errA := tx.Counter("inv", "a").Read()
+		b, errB := tx.Counter("inv", "b").Read()
+		if errA == nil && errB == nil && a != b {
+			st := reader.Node().Store()
+			bvA, okA := st.BaseVector(txn.ObjectID{Bucket: "inv", Key: "a"})
+			bvB, okB := st.BaseVector(txn.ObjectID{Bucket: "inv", Key: "b"})
+			ja, txs := st.DebugJournal(txn.ObjectID{Bucket: "inv", Key: "a"})
+			jb, _ := st.DebugJournal(txn.ObjectID{Bucket: "inv", Key: "b"})
+			t.Fatalf("atomicity violated: a=%d b=%d snap=%v\n baseA=%v(%v) jA=%v\n baseB=%v(%v) jB=%v\n txs=%v",
+				a, b, reader.State(), bvA, okA, ja, bvB, okB, jb, txs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInvariantCausality: writer increments x, then (causally after) sets a
+// flag y. No reader anywhere may observe the flag without the increment.
+func TestInvariantCausality(t *testing.T) {
+	cluster := newCluster(t, 3)
+	writer := connect(t, cluster, "writer", 0)
+	if err := writer.Prefetch("inv", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]*Connection, 3)
+	for i := range readers {
+		readers[i] = connect(t, cluster, fmt.Sprintf("r%d", i), i)
+		if err := readers[i].Prefetch("inv", "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.Update(func(tx *Tx) { tx.Counter("inv", "x").Increment(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Update(func(tx *Tx) { tx.Flag("inv", "y").Enable() }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	seen := 0
+	for time.Now().Before(deadline) && seen < len(readers) {
+		seen = 0
+		for _, r := range readers {
+			tx := r.StartTransaction()
+			on, errY := tx.Flag("inv", "y").Enabled()
+			x, errX := tx.Counter("inv", "x").Read()
+			if errY == nil && on {
+				if errX != nil || x < 1 {
+					t.Fatalf("causality violated at %s: flag visible, x=%d (%v)", r.Name(), x, errX)
+				}
+				seen++
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if seen < len(readers) {
+		t.Fatalf("eventual visibility violated: only %d/%d readers saw the flag", seen, len(readers))
+	}
+}
+
+// TestInvariantStrongConvergence: many clients issue random increments and
+// set operations concurrently from different DCs; once quiescent, every
+// replica reads exactly the same values.
+func TestInvariantStrongConvergence(t *testing.T) {
+	cluster := newCluster(t, 3)
+	const clients = 6
+	conns := make([]*Connection, clients)
+	for i := range conns {
+		conns[i] = connect(t, cluster, fmt.Sprintf("c%d", i), i%3)
+		if err := conns[i].Prefetch("inv", "cnt", "set"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var want int64
+	var mu sync.Mutex
+	for i, cn := range conns {
+		wg.Add(1)
+		go func(i int, cn *Connection) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for op := 0; op < 10; op++ {
+				delta := int64(rng.Intn(5) + 1)
+				err := cn.Update(func(tx *Tx) {
+					tx.Counter("inv", "cnt").Increment(delta)
+					tx.Set("inv", "set").Add(fmt.Sprintf("c%d-%d", i, op))
+				})
+				if err == nil {
+					mu.Lock()
+					want += delta
+					mu.Unlock()
+				}
+			}
+		}(i, cn)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		allEqual := true
+		for _, cn := range conns {
+			tx := cn.StartTransaction()
+			v, err := tx.Counter("inv", "cnt").Read()
+			elems, err2 := tx.Set("inv", "set").Elems()
+			if err != nil || err2 != nil || v != want || len(elems) != clients*10 {
+				allEqual = false
+				break
+			}
+		}
+		if allEqual {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Diagnose: which elements are missing where, and does the store even
+	// hold the transaction?
+	ref := make(map[string]bool)
+	for i := 0; i < clients; i++ {
+		for op := 0; op < 10; op++ {
+			ref[fmt.Sprintf("c%d-%d", i, op)] = true
+		}
+	}
+	for _, cn := range conns {
+		tx := cn.StartTransaction()
+		v, _ := tx.Counter("inv", "cnt").Read()
+		elems, _ := tx.Set("inv", "set").Elems()
+		missing := make(map[string]bool)
+		for e := range ref {
+			missing[e] = true
+		}
+		for _, e := range elems {
+			delete(missing, e)
+		}
+		_, txdots := cn.Node().Store().DebugJournal(txn.ObjectID{Bucket: "inv", Key: "set"})
+		t.Logf("%s: cnt=%d (want %d) set=%d missing=%v state=%v stable=%v storeTxs=%d",
+			cn.Name(), v, want, len(elems), keys(missing), cn.State(), cn.Node().StableVector(), len(txdots))
+	}
+	t.Fatal("replicas did not converge")
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestInvariantReadMyWritesAcrossMigration: a client's own writes stay
+// visible through a DC migration, even while its commits are still in
+// flight.
+func TestInvariantReadMyWritesAcrossMigration(t *testing.T) {
+	cluster := newCluster(t, 3)
+	conn := connect(t, cluster, "mob", 0)
+	if err := conn.Prefetch("inv", "x"); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Network().Isolate("mob")
+	for i := 0; i < 5; i++ {
+		if err := conn.Update(func(tx *Tx) { tx.Counter("inv", "x").Increment(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.Network().Rejoin("mob")
+	if err := conn.MigrateDC(1); err != nil {
+		t.Fatal(err)
+	}
+	tx := conn.StartTransaction()
+	v, err := tx.Counter("inv", "x").Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("read-my-writes lost in migration: %d", v)
+	}
+}
+
+// TestInvariantGroupTotalOrder: within a peer group (SI zone), all members
+// observe updates in the same order — checked via a register where the
+// final value must agree everywhere even under concurrent assignments.
+func TestInvariantGroupTotalOrder(t *testing.T) {
+	cluster := newCluster(t, 1)
+	parent := group.NewParent(cluster.Network(), group.ParentConfig{
+		Name: "pop", DC: cluster.DCName(0), RetryInterval: 5 * time.Millisecond,
+	})
+	t.Cleanup(parent.Close)
+	if err := parent.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	const members = 4
+	conns := make([]*Connection, members)
+	for i := range conns {
+		conns[i] = connect(t, cluster, fmt.Sprintf("g%d", i), 0)
+		if err := conns[i].JoinGroup("pop", group.VariantPSI); err != nil {
+			t.Fatal(err)
+		}
+		if err := conns[i].Prefetch("inv", "reg"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Concurrent conflicting assignments from every member; PSI orders them
+	// before commit completes.
+	var wg sync.WaitGroup
+	for i, cn := range conns {
+		wg.Add(1)
+		go func(i int, cn *Connection) {
+			defer wg.Done()
+			_ = cn.Update(func(tx *Tx) {
+				tx.Register("inv", "reg").Assign(fmt.Sprintf("winner-%d", i))
+			})
+		}(i, cn)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		vals := make(map[string]bool)
+		for _, cn := range conns {
+			tx := cn.StartTransaction()
+			v, err := tx.Register("inv", "reg").Read()
+			if err != nil {
+				vals["err"] = true
+				break
+			}
+			vals[v] = true
+		}
+		if len(vals) == 1 {
+			return // everyone agrees on the same (arbitrated) winner
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("group members disagree on the register value")
+}
+
+// TestMetadataBoundedByDCCount checks the paper's central metadata claim
+// (§3.3–3.4): vector timestamps carry one entry per DC — never per client —
+// so adding edge devices does not grow transaction metadata.
+func TestMetadataBoundedByDCCount(t *testing.T) {
+	cluster := newCluster(t, 3)
+	const clients = 12
+	conns := make([]*Connection, clients)
+	for i := range conns {
+		conns[i] = connect(t, cluster, fmt.Sprintf("meta%02d", i), i%3)
+		if err := conns[i].Prefetch("inv", "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var recs []*txn.Transaction
+	for _, cn := range conns {
+		tx := cn.StartTransaction()
+		tx.Counter("inv", "m").Increment(1)
+		rec, err := tx.CommitRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	for _, cn := range conns {
+		waitFor(t, 5*time.Second, func() bool { return cn.Node().UnackedCount() == 0 }, "acks")
+	}
+	for _, rec := range recs {
+		cur, ok := conns[0].Node().Store().Transaction(rec.Dot)
+		if !ok {
+			cur = rec
+		}
+		if len(cur.Snapshot) > 3 {
+			t.Fatalf("snapshot vector grew to %d entries with %d clients", len(cur.Snapshot), clients)
+		}
+		if len(cur.Commit) > 3 {
+			t.Fatalf("commit stamps grew to %d entries", len(cur.Commit))
+		}
+	}
+	// And the node state vectors too.
+	for _, cn := range conns {
+		if got := len(cn.State()); got > 3 {
+			t.Fatalf("state vector has %d entries, want ≤ 3", got)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"colony/internal/crdt"
+	"colony/internal/edge"
+	"colony/internal/simnet"
+	"colony/internal/txn"
+	"colony/internal/wire"
+)
+
+// Tx is an interactive, atomic transaction (paper §6.1): reads come from a
+// TCC+-consistent snapshot (plus the transaction's own updates), updates are
+// buffered and commit together. Commit at the edge is immediate and local;
+// the DC round trip happens asynchronously.
+type Tx struct {
+	conn *Connection
+	etx  *edge.Tx
+	err  error
+}
+
+// StartTransaction begins a transaction on the session.
+func (cn *Connection) StartTransaction() *Tx {
+	return &Tx{conn: cn, etx: cn.node.Begin()}
+}
+
+// Update runs fn inside a fresh transaction and commits it — the
+// auto-commit form used for single updates (Figure 3, lines 3–5).
+func (cn *Connection) Update(fn func(tx *Tx)) error {
+	tx := cn.StartTransaction()
+	fn(tx)
+	return tx.Commit()
+}
+
+// Err returns the first error recorded by a handle operation.
+func (t *Tx) Err() error { return t.err }
+
+// fail records the first error; later operations become no-ops.
+func (t *Tx) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Commit atomically commits the buffered updates. It returns the first
+// error recorded during the transaction, if any (the transaction is then
+// not committed).
+func (t *Tx) Commit() error {
+	if t.err != nil {
+		return t.err
+	}
+	_, err := t.etx.Commit()
+	return err
+}
+
+// CommitRecord commits and returns the transaction record (nil when
+// read-only).
+func (t *Tx) CommitRecord() (*txn.Transaction, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	return t.etx.Commit()
+}
+
+// read materialises an object and records cache usage.
+func (t *Tx) read(id txn.ObjectID, kind crdt.Kind) (crdt.Object, error) {
+	obj, err := t.etx.Read(id, kind)
+	if err != nil {
+		return nil, err
+	}
+	t.conn.touch(id)
+	return obj, nil
+}
+
+// readTracked is read plus the hit-class (for experiments).
+func (t *Tx) readTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, edge.ReadSource, error) {
+	obj, src, err := t.etx.ReadTracked(id, kind)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.conn.touch(id)
+	return obj, src, nil
+}
+
+// update buffers one op.
+func (t *Tx) update(id txn.ObjectID, kind crdt.Kind, op crdt.Op) {
+	t.etx.Update(id, kind, op)
+	t.conn.touch(id)
+}
+
+// ReadObjectTracked materialises a raw CRDT object together with its hit
+// class — the escape hatch for applications (and experiments) that navigate
+// object state directly.
+func (t *Tx) ReadObjectTracked(bucket, key string, kind crdt.Kind) (crdt.Object, edge.ReadSource, error) {
+	return t.readTracked(txn.ObjectID{Bucket: bucket, Key: key}, kind)
+}
+
+// --- object handles ---
+
+// CounterRef is a handle on a PN-counter.
+type CounterRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Counter opens a counter handle.
+func (t *Tx) Counter(bucket, key string) CounterRef {
+	return CounterRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// Increment adds delta (may be negative).
+func (r CounterRef) Increment(delta int64) {
+	r.tx.update(r.id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: delta}})
+}
+
+// Read returns the counter value at the transaction snapshot.
+func (r CounterRef) Read() (int64, error) {
+	obj, err := r.tx.read(r.id, crdt.KindCounter)
+	if err != nil {
+		return 0, err
+	}
+	return obj.(*crdt.Counter).Total(), nil
+}
+
+// ReadTracked is Read plus the hit class.
+func (r CounterRef) ReadTracked() (int64, edge.ReadSource, error) {
+	obj, src, err := r.tx.readTracked(r.id, crdt.KindCounter)
+	if err != nil {
+		return 0, 0, err
+	}
+	return obj.(*crdt.Counter).Total(), src, nil
+}
+
+// RegisterRef is a handle on a last-writer-wins register.
+type RegisterRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Register opens an LWW register handle.
+func (t *Tx) Register(bucket, key string) RegisterRef {
+	return RegisterRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// Assign sets the register.
+func (r RegisterRef) Assign(v string) {
+	r.tx.update(r.id, crdt.KindLWWRegister, crdt.Op{LWW: &crdt.LWWRegisterOp{Value: v}})
+}
+
+// Read returns the register value.
+func (r RegisterRef) Read() (string, error) {
+	obj, err := r.tx.read(r.id, crdt.KindLWWRegister)
+	if err != nil {
+		return "", err
+	}
+	v, _ := obj.(*crdt.LWWRegister).Get()
+	return v, nil
+}
+
+// MVRegisterRef is a handle on a multi-value register: concurrent
+// assignments are all retained and surface as multiple values for the
+// application to resolve.
+type MVRegisterRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// MVRegister opens a multi-value register handle.
+func (t *Tx) MVRegister(bucket, key string) MVRegisterRef {
+	return MVRegisterRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// Assign sets the register, overwriting the siblings visible at the
+// snapshot (a concurrent assignment elsewhere survives alongside).
+func (r MVRegisterRef) Assign(v string) {
+	obj, err := r.tx.read(r.id, crdt.KindMVRegister)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: mvregister assign: %w", err))
+		return
+	}
+	r.tx.update(r.id, crdt.KindMVRegister, obj.(*crdt.MVRegister).PrepareAssign(v))
+}
+
+// Read returns the live values in arbitration order (empty when unset, >1
+// after concurrent assignments).
+func (r MVRegisterRef) Read() ([]string, error) {
+	obj, err := r.tx.read(r.id, crdt.KindMVRegister)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*crdt.MVRegister).Values(), nil
+}
+
+// SetRef is a handle on an add-wins set.
+type SetRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Set opens a set handle.
+func (t *Tx) Set(bucket, key string) SetRef {
+	return SetRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// Add inserts an element.
+func (r SetRef) Add(elem string) {
+	r.tx.update(r.id, crdt.KindORSet, crdt.Op{Set: &crdt.ORSetOp{Elem: elem}})
+}
+
+// AddAll inserts several elements.
+func (r SetRef) AddAll(elems ...string) {
+	for _, e := range elems {
+		r.Add(e)
+	}
+}
+
+// Remove deletes an element (observed-remove: concurrent adds win).
+func (r SetRef) Remove(elem string) {
+	obj, err := r.tx.read(r.id, crdt.KindORSet)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: set remove: %w", err))
+		return
+	}
+	r.tx.update(r.id, crdt.KindORSet, obj.(*crdt.ORSet).PrepareRemove(elem))
+}
+
+// Elems returns the members.
+func (r SetRef) Elems() ([]string, error) {
+	obj, err := r.tx.read(r.id, crdt.KindORSet)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*crdt.ORSet).Elems(), nil
+}
+
+// Contains reports membership.
+func (r SetRef) Contains(elem string) (bool, error) {
+	obj, err := r.tx.read(r.id, crdt.KindORSet)
+	if err != nil {
+		return false, err
+	}
+	return obj.(*crdt.ORSet).Contains(elem), nil
+}
+
+// FlagRef is a handle on an enable-wins flag.
+type FlagRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Flag opens a flag handle.
+func (t *Tx) Flag(bucket, key string) FlagRef {
+	return FlagRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// Enable sets the flag (enable-wins under concurrency).
+func (r FlagRef) Enable() {
+	r.tx.update(r.id, crdt.KindFlag, crdt.Op{Flag: &crdt.FlagOp{}})
+}
+
+// Disable clears the flag, overriding the enables observed at the snapshot.
+func (r FlagRef) Disable() {
+	obj, err := r.tx.read(r.id, crdt.KindFlag)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: flag disable: %w", err))
+		return
+	}
+	r.tx.update(r.id, crdt.KindFlag, obj.(*crdt.Flag).PrepareDisable())
+}
+
+// Enabled reads the flag.
+func (r FlagRef) Enabled() (bool, error) {
+	obj, err := r.tx.read(r.id, crdt.KindFlag)
+	if err != nil {
+		return false, err
+	}
+	return obj.(*crdt.Flag).Enabled(), nil
+}
+
+// SeqRef is a handle on an RGA sequence (collaborative editing).
+type SeqRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Seq opens a sequence handle.
+func (t *Tx) Seq(bucket, key string) SeqRef {
+	return SeqRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// InsertAt inserts value so it lands at index i of the current sequence.
+func (r SeqRef) InsertAt(i int, value string) {
+	obj, err := r.tx.read(r.id, crdt.KindRGA)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: seq insert: %w", err))
+		return
+	}
+	r.tx.update(r.id, crdt.KindRGA, obj.(*crdt.RGA).PrepareInsertAt(i, value))
+}
+
+// Append inserts value at the end.
+func (r SeqRef) Append(value string) {
+	obj, err := r.tx.read(r.id, crdt.KindRGA)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: seq append: %w", err))
+		return
+	}
+	rga := obj.(*crdt.RGA)
+	r.tx.update(r.id, crdt.KindRGA, rga.PrepareInsertAt(rga.Len(), value))
+}
+
+// DeleteAt removes the element at index i.
+func (r SeqRef) DeleteAt(i int) {
+	obj, err := r.tx.read(r.id, crdt.KindRGA)
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: seq delete: %w", err))
+		return
+	}
+	op, ok := obj.(*crdt.RGA).PrepareDeleteAt(i)
+	if !ok {
+		r.tx.fail(fmt.Errorf("core: seq delete: index %d out of range", i))
+		return
+	}
+	r.tx.update(r.id, crdt.KindRGA, op)
+}
+
+// String returns the concatenated sequence.
+func (r SeqRef) String() (string, error) {
+	obj, err := r.tx.read(r.id, crdt.KindRGA)
+	if err != nil {
+		return "", err
+	}
+	return obj.(*crdt.RGA).String(), nil
+}
+
+// Items returns the elements in order.
+func (r SeqRef) Items() ([]string, error) {
+	obj, err := r.tx.read(r.id, crdt.KindRGA)
+	if err != nil {
+		return nil, err
+	}
+	elems := obj.(*crdt.RGA).Elements()
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = e.Value
+	}
+	return out, nil
+}
+
+// MapRef is a handle on a map of nested CRDTs (the paper's gmap when used
+// grow-only).
+type MapRef struct {
+	tx *Tx
+	id txn.ObjectID
+}
+
+// Map opens a map handle.
+func (t *Tx) Map(bucket, key string) MapRef {
+	return MapRef{tx: t, id: txn.ObjectID{Bucket: bucket, Key: key}}
+}
+
+// readMap materialises the map object.
+func (r MapRef) readMap() (*crdt.ORMap, error) {
+	obj, err := r.tx.read(r.id, crdt.KindORMap)
+	if err != nil {
+		return nil, err
+	}
+	return obj.(*crdt.ORMap), nil
+}
+
+// Keys returns the present keys.
+func (r MapRef) Keys() ([]string, error) {
+	m, err := r.readMap()
+	if err != nil {
+		return nil, err
+	}
+	return m.Keys(), nil
+}
+
+// Value returns the whole map as plain Go values.
+func (r MapRef) Value() (map[string]any, error) {
+	m, err := r.readMap()
+	if err != nil {
+		return nil, err
+	}
+	return m.Value().(map[string]any), nil
+}
+
+// RemoveKey hides a key (observed-remove: concurrent updates win).
+func (r MapRef) RemoveKey(key string) {
+	m, err := r.readMap()
+	if err != nil {
+		r.tx.fail(fmt.Errorf("core: map remove: %w", err))
+		return
+	}
+	r.tx.update(r.id, crdt.KindORMap, m.PrepareRemove(key))
+}
+
+// nested wraps a nested op into the map op.
+func (r MapRef) nested(key string, kind crdt.Kind, op crdt.Op) {
+	n := op
+	r.tx.update(r.id, crdt.KindORMap, crdt.Op{Map: &crdt.ORMapOp{Key: key, Kind: kind, Nested: &n}})
+}
+
+// Register returns a handle on the nested LWW register at key.
+func (r MapRef) Register(key string) MapRegisterRef { return MapRegisterRef{m: r, key: key} }
+
+// Set returns a handle on the nested add-wins set at key.
+func (r MapRef) Set(key string) MapSetRef { return MapSetRef{m: r, key: key} }
+
+// Counter returns a handle on the nested counter at key.
+func (r MapRef) Counter(key string) MapCounterRef { return MapCounterRef{m: r, key: key} }
+
+// Seq returns a handle on the nested RGA sequence at key.
+func (r MapRef) Seq(key string) MapSeqRef { return MapSeqRef{m: r, key: key} }
+
+// MapRegisterRef is a nested register handle (Figure 3: map.register("a")).
+type MapRegisterRef struct {
+	m   MapRef
+	key string
+}
+
+// Assign sets the nested register.
+func (r MapRegisterRef) Assign(v string) {
+	r.m.nested(r.key, crdt.KindLWWRegister, crdt.Op{LWW: &crdt.LWWRegisterOp{Value: v}})
+}
+
+// Read returns the nested register value ("" when absent).
+func (r MapRegisterRef) Read() (string, error) {
+	m, err := r.m.readMap()
+	if err != nil {
+		return "", err
+	}
+	obj := m.Get(r.key)
+	if obj == nil {
+		return "", nil
+	}
+	reg, ok := obj.(*crdt.LWWRegister)
+	if !ok {
+		return "", fmt.Errorf("core: map key %q is a %v, not a register", r.key, obj.Kind())
+	}
+	v, _ := reg.Get()
+	return v, nil
+}
+
+// MapSetRef is a nested set handle (Figure 3: map.set("e")).
+type MapSetRef struct {
+	m   MapRef
+	key string
+}
+
+// Add inserts an element into the nested set.
+func (r MapSetRef) Add(elem string) {
+	r.m.nested(r.key, crdt.KindORSet, crdt.Op{Set: &crdt.ORSetOp{Elem: elem}})
+}
+
+// AddAll inserts several elements.
+func (r MapSetRef) AddAll(elems ...string) {
+	for _, e := range elems {
+		r.Add(e)
+	}
+}
+
+// Remove deletes an element from the nested set.
+func (r MapSetRef) Remove(elem string) {
+	m, err := r.m.readMap()
+	if err != nil {
+		r.m.tx.fail(fmt.Errorf("core: nested set remove: %w", err))
+		return
+	}
+	set, _ := m.Get(r.key).(*crdt.ORSet)
+	if set == nil {
+		set = crdt.NewORSet()
+	}
+	r.m.nested(r.key, crdt.KindORSet, set.PrepareRemove(elem))
+}
+
+// Read returns the nested set members (nil when absent).
+func (r MapSetRef) Read() ([]string, error) {
+	m, err := r.m.readMap()
+	if err != nil {
+		return nil, err
+	}
+	set, _ := m.Get(r.key).(*crdt.ORSet)
+	if set == nil {
+		return nil, nil
+	}
+	return set.Elems(), nil
+}
+
+// MapCounterRef is a nested counter handle.
+type MapCounterRef struct {
+	m   MapRef
+	key string
+}
+
+// Increment adds delta to the nested counter.
+func (r MapCounterRef) Increment(delta int64) {
+	r.m.nested(r.key, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: delta}})
+}
+
+// Read returns the nested counter value (0 when absent).
+func (r MapCounterRef) Read() (int64, error) {
+	m, err := r.m.readMap()
+	if err != nil {
+		return 0, err
+	}
+	cnt, _ := m.Get(r.key).(*crdt.Counter)
+	if cnt == nil {
+		return 0, nil
+	}
+	return cnt.Total(), nil
+}
+
+// MapSeqRef is a nested sequence handle (channel message lists).
+type MapSeqRef struct {
+	m   MapRef
+	key string
+}
+
+// Append inserts value at the end of the nested sequence.
+func (r MapSeqRef) Append(value string) {
+	m, err := r.m.readMap()
+	if err != nil {
+		r.m.tx.fail(fmt.Errorf("core: nested seq append: %w", err))
+		return
+	}
+	rga, _ := m.Get(r.key).(*crdt.RGA)
+	if rga == nil {
+		rga = crdt.NewRGA()
+	}
+	r.m.nested(r.key, crdt.KindRGA, rga.PrepareInsertAt(rga.Len(), value))
+}
+
+// Read returns the nested sequence elements (nil when absent).
+func (r MapSeqRef) Read() ([]string, error) {
+	m, err := r.m.readMap()
+	if err != nil {
+		return nil, err
+	}
+	rga, _ := m.Get(r.key).(*crdt.RGA)
+	if rga == nil {
+		return nil, nil
+	}
+	elems := rga.Elements()
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = e.Value
+	}
+	return out, nil
+}
+
+// --- cloud (no-cache) sessions, for baselines and heavy queries ---
+
+// CloudSession executes transactions at a DC over the network: the
+// "classical geo-replicated" client of §7.3's AntidoteDB configuration —
+// no local cache, every transaction pays the round trip to the cloud.
+type CloudSession struct {
+	cluster *Cluster
+	node    *simnet.Node
+	dcName  string
+	user    string
+}
+
+// CloudConnect opens a no-cache session for user against DC dcIdx. name
+// must be unique on the network.
+func (c *Cluster) CloudConnect(name, user string, dcIdx int) *CloudSession {
+	node := c.net.AddNode(name, nil)
+	dcName := c.dcs[dcIdx].Name()
+	c.linkEdge(name, dcName, c.cfg.Profile.EdgeLink)
+	return &CloudSession{cluster: c, node: node, dcName: dcName, user: user}
+}
+
+// Close releases the session's network endpoint.
+func (s *CloudSession) Close() { s.cluster.net.RemoveNode(s.node.Name()) }
+
+// Do ships fn to the DC and runs it there as one interactive transaction
+// (reads and updates execute against the DC's current state under SI).
+func (s *CloudSession) Do(fn func(read wire.TxReader, update wire.TxUpdater) error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := s.node.Call(ctx, s.dcName, wire.MigratedTx{
+		Origin: s.node.Name(),
+		Actor:  s.user,
+		Fn:     fn,
+	})
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(wire.MigratedTxAck)
+	if !ok {
+		return fmt.Errorf("core: unexpected cloud reply %T", reply)
+	}
+	if ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package crdt
+
+// CounterOp increments (or, with a negative delta, decrements) a counter.
+// Increments are naturally commutative, so the counter needs no conflict
+// arbitration; this is the op-based PN-counter.
+type CounterOp struct {
+	Delta int64 `json:"delta"`
+}
+
+// Counter is an op-based PN-counter. Its value is the sum of all applied
+// deltas.
+type Counter struct {
+	total int64
+}
+
+var _ Object = (*Counter)(nil)
+
+// NewCounter returns a counter with value zero.
+func NewCounter() *Counter { return &Counter{} }
+
+// Kind implements Object.
+func (c *Counter) Kind() Kind { return KindCounter }
+
+// Apply implements Object.
+func (c *Counter) Apply(_ Meta, op Op) error {
+	if op.Counter == nil {
+		if op.Kind() == 0 {
+			return ErrMalformedOp
+		}
+		return ErrKindMismatch
+	}
+	c.total += op.Counter.Delta
+	return nil
+}
+
+// Value implements Object, returning the current total as an int64.
+func (c *Counter) Value() any { return c.total }
+
+// Total returns the counter value without boxing.
+func (c *Counter) Total() int64 { return c.total }
+
+// Clone implements Object.
+func (c *Counter) Clone() Object { cp := *c; return &cp }
+
+// PrepareIncrement returns the downstream op adding delta to the counter.
+func (c *Counter) PrepareIncrement(delta int64) Op {
+	return Op{Counter: &CounterOp{Delta: delta}}
+}

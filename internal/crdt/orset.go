@@ -1,0 +1,170 @@
+package crdt
+
+import "sort"
+
+// ORSetOp adds or removes one element of an observed-remove (add-wins) set.
+// A removal names the add tags the source had observed for the element, so a
+// concurrent add — which the remover had not seen — survives.
+type ORSetOp struct {
+	Elem    string `json:"elem"`
+	Remove  bool   `json:"remove,omitempty"`
+	Removes []Tag  `json:"removes,omitempty"`
+}
+
+// ORSet is an observed-remove set of strings with add-wins semantics.
+type ORSet struct {
+	elems map[string]map[Tag]bool
+}
+
+var _ Object = (*ORSet)(nil)
+
+// NewORSet returns an empty set.
+func NewORSet() *ORSet { return &ORSet{elems: make(map[string]map[Tag]bool)} }
+
+// Kind implements Object.
+func (s *ORSet) Kind() Kind { return KindORSet }
+
+// Apply implements Object.
+func (s *ORSet) Apply(meta Meta, op Op) error {
+	if op.Set == nil {
+		if op.Kind() == 0 {
+			return ErrMalformedOp
+		}
+		return ErrKindMismatch
+	}
+	o := op.Set
+	if o.Remove {
+		tags := s.elems[o.Elem]
+		for _, t := range o.Removes {
+			delete(tags, t)
+		}
+		if len(tags) == 0 {
+			delete(s.elems, o.Elem)
+		}
+		return nil
+	}
+	tags := s.elems[o.Elem]
+	if tags == nil {
+		tags = make(map[Tag]bool, 1)
+		s.elems[o.Elem] = tags
+	}
+	tags[meta.tag()] = true
+	return nil
+}
+
+// Value implements Object, returning the sorted member list ([]string).
+func (s *ORSet) Value() any { return s.Elems() }
+
+// Elems returns the members in sorted order.
+func (s *ORSet) Elems() []string {
+	out := make([]string, 0, len(s.elems))
+	for e := range s.elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports membership of elem.
+func (s *ORSet) Contains(elem string) bool { return len(s.elems[elem]) > 0 }
+
+// Len returns the number of members.
+func (s *ORSet) Len() int { return len(s.elems) }
+
+// Clone implements Object.
+func (s *ORSet) Clone() Object {
+	cp := &ORSet{elems: make(map[string]map[Tag]bool, len(s.elems))}
+	for e, tags := range s.elems {
+		tcp := make(map[Tag]bool, len(tags))
+		for t := range tags {
+			tcp[t] = true
+		}
+		cp.elems[e] = tcp
+	}
+	return cp
+}
+
+// PrepareAdd returns the downstream op adding elem.
+func (s *ORSet) PrepareAdd(elem string) Op {
+	return Op{Set: &ORSetOp{Elem: elem}}
+}
+
+// PrepareRemove returns the downstream op removing elem, capturing the add
+// tags currently observed so that concurrent adds win.
+func (s *ORSet) PrepareRemove(elem string) Op {
+	tags := s.elems[elem]
+	removes := make([]Tag, 0, len(tags))
+	for t := range tags {
+		removes = append(removes, t)
+	}
+	sort.Slice(removes, func(i, j int) bool { return removes[i].Compare(removes[j]) < 0 })
+	return Op{Set: &ORSetOp{Elem: elem, Remove: true, Removes: removes}}
+}
+
+// FlagOp enables or disables an enable-wins flag. Disable carries the enable
+// tags observed at the source, mirroring ORSet removal.
+type FlagOp struct {
+	Disable  bool  `json:"disable,omitempty"`
+	Disables []Tag `json:"disables,omitempty"`
+}
+
+// Flag is an enable-wins boolean flag: concurrent enable and disable resolve
+// to enabled.
+type Flag struct {
+	tokens map[Tag]bool
+}
+
+var _ Object = (*Flag)(nil)
+
+// NewFlag returns a disabled flag.
+func NewFlag() *Flag { return &Flag{tokens: make(map[Tag]bool)} }
+
+// Kind implements Object.
+func (f *Flag) Kind() Kind { return KindFlag }
+
+// Apply implements Object.
+func (f *Flag) Apply(meta Meta, op Op) error {
+	if op.Flag == nil {
+		if op.Kind() == 0 {
+			return ErrMalformedOp
+		}
+		return ErrKindMismatch
+	}
+	if op.Flag.Disable {
+		for _, t := range op.Flag.Disables {
+			delete(f.tokens, t)
+		}
+		return nil
+	}
+	f.tokens[meta.tag()] = true
+	return nil
+}
+
+// Value implements Object, returning the boolean state.
+func (f *Flag) Value() any { return f.Enabled() }
+
+// Enabled reports whether the flag is set.
+func (f *Flag) Enabled() bool { return len(f.tokens) > 0 }
+
+// Clone implements Object.
+func (f *Flag) Clone() Object {
+	cp := &Flag{tokens: make(map[Tag]bool, len(f.tokens))}
+	for t := range f.tokens {
+		cp.tokens[t] = true
+	}
+	return cp
+}
+
+// PrepareEnable returns the downstream op enabling the flag.
+func (f *Flag) PrepareEnable() Op { return Op{Flag: &FlagOp{}} }
+
+// PrepareDisable returns the downstream op disabling the flag, capturing the
+// enable tokens currently observed.
+func (f *Flag) PrepareDisable() Op {
+	tags := make([]Tag, 0, len(f.tokens))
+	for t := range f.tokens {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Compare(tags[j]) < 0 })
+	return Op{Flag: &FlagOp{Disable: true, Disables: tags}}
+}

@@ -1,0 +1,196 @@
+package crdt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RGAOp inserts an element after an existing one, or deletes an element, in
+// a Replicated Growable Array (the sequence CRDT used for collaborative
+// editing).
+type RGAOp struct {
+	// After is the tag of the element the new element goes after; the zero
+	// Tag means the head of the sequence. Only meaningful for inserts.
+	After Tag `json:"after"`
+	// Value is the inserted element (typically a character or a chunk).
+	Value string `json:"value,omitempty"`
+	// Delete marks a deletion of Target instead of an insert.
+	Delete bool `json:"delete,omitempty"`
+	Target Tag  `json:"target,omitempty"`
+}
+
+// rgaNode is one element of the RGA tree.
+type rgaNode struct {
+	id        Tag
+	value     string
+	tombstone bool
+	// children are the elements inserted directly after this one, kept in
+	// descending tag order — the deterministic RGA sibling order.
+	children []*rgaNode
+}
+
+// RGA is a Replicated Growable Array: a sequence CRDT supporting concurrent
+// insert-after and delete. Concurrent inserts at the same position are
+// ordered by descending update tag, so all replicas linearise identically.
+// Deletions leave tombstones (the identifier space must stay stable for
+// later concurrent inserts to anchor on).
+type RGA struct {
+	root  rgaNode // sentinel head; never has a value
+	index map[Tag]*rgaNode
+	live  int
+}
+
+var _ Object = (*RGA)(nil)
+
+// NewRGA returns an empty sequence.
+func NewRGA() *RGA {
+	r := &RGA{index: make(map[Tag]*rgaNode)}
+	r.index[Tag{}] = &r.root
+	return r
+}
+
+// Kind implements Object.
+func (r *RGA) Kind() Kind { return KindRGA }
+
+// Apply implements Object.
+func (r *RGA) Apply(meta Meta, op Op) error {
+	if op.RGA == nil {
+		if op.Kind() == 0 {
+			return ErrMalformedOp
+		}
+		return ErrKindMismatch
+	}
+	o := op.RGA
+	if o.Delete {
+		node, ok := r.index[o.Target]
+		if !ok {
+			return fmt.Errorf("crdt: rga delete of unknown element %v (causal delivery violated): %w",
+				o.Target, ErrMalformedOp)
+		}
+		if !node.tombstone {
+			node.tombstone = true
+			r.live--
+		}
+		return nil
+	}
+	parent, ok := r.index[o.After]
+	if !ok {
+		return fmt.Errorf("crdt: rga insert after unknown element %v (causal delivery violated): %w",
+			o.After, ErrMalformedOp)
+	}
+	id := meta.tag()
+	if _, dup := r.index[id]; dup {
+		return nil // idempotent re-apply
+	}
+	node := &rgaNode{id: id, value: o.Value}
+	// Insert among siblings in descending tag order.
+	pos := len(parent.children)
+	for i, sib := range parent.children {
+		if id.Compare(sib.id) > 0 {
+			pos = i
+			break
+		}
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[pos+1:], parent.children[pos:])
+	parent.children[pos] = node
+	r.index[id] = node
+	r.live++
+	return nil
+}
+
+// Value implements Object, returning the concatenated live elements as a
+// string.
+func (r *RGA) Value() any { return r.String() }
+
+// String returns the sequence contents.
+func (r *RGA) String() string {
+	var sb strings.Builder
+	r.walk(&r.root, func(n *rgaNode) { sb.WriteString(n.value) })
+	return sb.String()
+}
+
+// Elements returns the live elements in document order along with their tags
+// (needed to anchor inserts and deletes).
+func (r *RGA) Elements() []struct {
+	Tag   Tag
+	Value string
+} {
+	out := make([]struct {
+		Tag   Tag
+		Value string
+	}, 0, r.live)
+	r.walk(&r.root, func(n *rgaNode) {
+		out = append(out, struct {
+			Tag   Tag
+			Value string
+		}{Tag: n.id, Value: n.value})
+	})
+	return out
+}
+
+// Len returns the number of live elements.
+func (r *RGA) Len() int { return r.live }
+
+// walk performs the RGA depth-first traversal, calling fn on every live node.
+func (r *RGA) walk(n *rgaNode, fn func(*rgaNode)) {
+	if n != &r.root && !n.tombstone {
+		fn(n)
+	}
+	for _, child := range n.children {
+		r.walk(child, fn)
+	}
+}
+
+// Clone implements Object.
+func (r *RGA) Clone() Object {
+	cp := NewRGA()
+	cp.live = r.live
+	var dup func(src *rgaNode, dst *rgaNode)
+	dup = func(src, dst *rgaNode) {
+		dst.children = make([]*rgaNode, len(src.children))
+		for i, child := range src.children {
+			nc := &rgaNode{id: child.id, value: child.value, tombstone: child.tombstone}
+			dst.children[i] = nc
+			cp.index[nc.id] = nc
+			dup(child, nc)
+		}
+	}
+	dup(&r.root, &cp.root)
+	return cp
+}
+
+// PrepareInsertAfter returns the downstream op inserting value after the
+// element tagged after (zero Tag = head).
+func (r *RGA) PrepareInsertAfter(after Tag, value string) Op {
+	return Op{RGA: &RGAOp{After: after, Value: value}}
+}
+
+// PrepareDelete returns the downstream op deleting the element tagged target.
+func (r *RGA) PrepareDelete(target Tag) Op {
+	return Op{RGA: &RGAOp{Delete: true, Target: target}}
+}
+
+// PrepareInsertAt returns the downstream op inserting value so that it lands
+// at index i of the current live sequence (0 inserts at the head). It is a
+// convenience wrapper that resolves the anchor element from the local state.
+func (r *RGA) PrepareInsertAt(i int, value string) Op {
+	if i <= 0 {
+		return r.PrepareInsertAfter(Tag{}, value)
+	}
+	elems := r.Elements()
+	if i > len(elems) {
+		i = len(elems)
+	}
+	return r.PrepareInsertAfter(elems[i-1].Tag, value)
+}
+
+// PrepareDeleteAt returns the downstream op deleting the live element at
+// index i, or a zero Op and false if i is out of range.
+func (r *RGA) PrepareDeleteAt(i int) (Op, bool) {
+	elems := r.Elements()
+	if i < 0 || i >= len(elems) {
+		return Op{}, false
+	}
+	return r.PrepareDelete(elems[i].Tag), true
+}

@@ -1,0 +1,875 @@
+// Package dc implements a Colony data centre (paper §3.4, §3.6, §6.3).
+//
+// A DC is an SI zone: internally it runs transactions across multiple
+// sharded servers under ClockSI, and externally it behaves as a single
+// sequential node whose commits are numbered by one component of the global
+// vector timestamp. DCs replicate to each other over a full mesh and act as
+// tree roots for edge nodes: they accept asynchronously committed edge
+// transactions, assign them concrete commit timestamps, and push K-stable
+// updates back down to subscribed edge caches.
+package dc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colony/internal/clocksi"
+	"colony/internal/crdt"
+	"colony/internal/replication"
+	"colony/internal/simnet"
+	"colony/internal/store"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+	"colony/internal/wal"
+	"colony/internal/wire"
+)
+
+// Errors returned by the DC API.
+var (
+	ErrIncompatible = errors.New("dc: snapshot depends on transactions this DC has not seen")
+	ErrClosed       = errors.New("dc: closed")
+)
+
+// Config configures one DC.
+type Config struct {
+	// Index is the DC's position in vector timestamps.
+	Index int
+	// Name is the DC's node name on the network.
+	Name string
+	// NumDCs is the total number of DCs in the system.
+	NumDCs int
+	// Shards is the number of storage servers (default 4).
+	Shards int
+	// VNodes is the consistent-hashing virtual node count (default 64).
+	VNodes int
+	// K is the K-stability visibility threshold for edge nodes (default 1;
+	// the paper's experiments use 2 with 3 DCs).
+	K int
+	// Heartbeat is the state-vector gossip period; 0 disables heartbeats
+	// (tests drive gossip through traffic instead).
+	Heartbeat time.Duration
+	// CompactEvery triggers automatic base-version advancement (journal
+	// truncation, paper §4.1) on the heartbeat worker; 0 disables.
+	CompactEvery time.Duration
+	// DataDir enables persistence (paper §6.3): committed transactions are
+	// appended to a write-ahead log under this directory and replayed on
+	// restart. Empty disables persistence (unit tests, far-edge nodes).
+	DataDir string
+	// ServiceTime and Workers model the DC's finite capacity for
+	// client-facing requests (commit acceptance, fetches, subscriptions,
+	// migrated transactions): each such request occupies one of Workers
+	// slots for ServiceTime. Zero disables the model (unit tests). The
+	// benchmark harness uses it so saturation behaves like a real server
+	// rather than an infinitely fast simulator.
+	ServiceTime time.Duration
+	Workers     int
+}
+
+// subscription tracks one edge node's (or group sync point's) interest set.
+type subscription struct {
+	node     string
+	interest map[txn.ObjectID]bool
+	// logIdx is the position in the DC's transaction log up to which the
+	// subscriber has been served.
+	logIdx int
+	// stable is the stability cut last pushed to the subscriber.
+	stable vclock.Vector
+}
+
+// DC is one data centre.
+type DC struct {
+	cfg   Config
+	node  *simnet.Node
+	coord *clocksi.Coordinator
+	mesh  *replication.Mesh
+
+	mu      sync.Mutex
+	closed  bool
+	lamport vclock.Lamport
+	seq     uint64
+	state   vclock.Vector
+	peers   map[int]string
+	log     []*txn.Transaction
+	replLog []*txn.Transaction // every applied tx, masked or not, for anti-entropy
+	byDot   map[vclock.Dot]*txn.Transaction
+	subs    map[string]*subscription
+	// visible decides whether a transaction may become visible (the ACL
+	// check hook, paper §6.4); nil admits everything.
+	visible func(*txn.Transaction) bool
+	masked  map[vclock.Dot]*txn.Transaction
+
+	capacity chan struct{} // nil when the service-time model is off
+	journal  *wal.Log      // nil when persistence is off
+
+	stopHeartbeat chan struct{}
+	heartbeatDone chan struct{}
+}
+
+// New creates a DC, registers it on the network, and starts its heartbeat
+// worker (if configured). Call SetPeers once all DCs exist, then Close when
+// done.
+func New(net *simnet.Network, cfg Config) (*DC, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.NumDCs <= 0 {
+		cfg.NumDCs = 1
+	}
+	shards := make([]*clocksi.Shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = clocksi.NewShard(fmt.Sprintf("%s/shard%d", cfg.Name, i), uint64(i))
+	}
+	coord, err := clocksi.NewCoordinator(shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	d := &DC{
+		cfg:           cfg,
+		coord:         coord,
+		mesh:          replication.NewMesh(cfg.Index, cfg.NumDCs),
+		state:         vclock.NewVector(cfg.NumDCs),
+		peers:         make(map[int]string),
+		byDot:         make(map[vclock.Dot]*txn.Transaction),
+		subs:          make(map[string]*subscription),
+		masked:        make(map[vclock.Dot]*txn.Transaction),
+		stopHeartbeat: make(chan struct{}),
+		heartbeatDone: make(chan struct{}),
+	}
+	if cfg.ServiceTime > 0 {
+		if cfg.Workers <= 0 {
+			cfg.Workers = 2 * cfg.Shards
+		}
+		d.capacity = make(chan struct{}, cfg.Workers)
+	}
+	d.cfg = cfg
+	if cfg.DataDir != "" {
+		if err := d.recover(); err != nil {
+			return nil, fmt.Errorf("dc: recover %s: %w", cfg.Name, err)
+		}
+		logFile, err := wal.Open(cfg.DataDir, cfg.Name+".wal")
+		if err != nil {
+			return nil, err
+		}
+		d.journal = logFile
+	}
+	d.node = net.AddNode(cfg.Name, d.handle)
+	if cfg.Heartbeat > 0 {
+		go d.heartbeatLoop()
+	} else {
+		close(d.heartbeatDone)
+	}
+	return d, nil
+}
+
+// SetPeers wires the other DCs (index → network node name).
+func (d *DC) SetPeers(peers map[int]string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for idx, name := range peers {
+		if idx != d.cfg.Index {
+			d.peers[idx] = name
+		}
+	}
+}
+
+// SetVisibilityCheck installs the ACL hook: transactions for which check
+// returns false are masked — withheld from subscribers and from reads at
+// this DC's stable cut — together with every transaction that causally
+// depends on them (paper §5.3, §6.4).
+func (d *DC) SetVisibilityCheck(check func(*txn.Transaction) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.visible = check
+}
+
+// Close stops the DC's background work and flushes the write-ahead log.
+func (d *DC) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	journal := d.journal
+	d.mu.Unlock()
+	close(d.stopHeartbeat)
+	<-d.heartbeatDone
+	if journal != nil {
+		_ = journal.Close()
+	}
+}
+
+// recover replays the write-ahead log: every recorded transaction is
+// re-applied (the WAL was appended in causal order) and the sequencer and
+// state vector are rebuilt.
+func (d *DC) recover() error {
+	return wal.Replay(d.cfg.DataDir, d.cfg.Name+".wal", func(t *txn.Transaction) error {
+		if err := d.coord.ApplyCommitted(t); err != nil && !errors.Is(err, store.ErrDuplicate) {
+			return err
+		}
+		d.mu.Lock()
+		d.lamport.Witness(t.Dot.Seq)
+		d.state = t.Commit.JoinInto(d.state, t.Snapshot)
+		if ts, ok := t.Commit[d.cfg.Index]; ok && ts > d.seq {
+			d.seq = ts
+		}
+		d.recordLocked(t)
+		d.mu.Unlock()
+		d.mesh.ObserveSelf(d.state)
+		return nil
+	})
+}
+
+// persist appends a transaction to the write-ahead log (best effort: an I/O
+// error must not take the DC down mid-protocol, but it is surfaced once via
+// the returned flag for monitoring).
+func (d *DC) persist(t *txn.Transaction) {
+	if d.journal == nil {
+		return
+	}
+	_ = d.journal.Append(t)
+}
+
+// Name returns the DC's network node name.
+func (d *DC) Name() string { return d.cfg.Name }
+
+// Index returns the DC's vector component index.
+func (d *DC) Index() int { return d.cfg.Index }
+
+// State returns a copy of the DC's current state vector.
+func (d *DC) State() vclock.Vector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state.Clone()
+}
+
+// Stable returns the current K-stable cut (the edge-visible frontier).
+func (d *DC) Stable() vclock.Vector { return d.mesh.KStable(d.cfg.K) }
+
+// heartbeatLoop gossips the state vector so stability advances during quiet
+// periods.
+func (d *DC) heartbeatLoop() {
+	defer close(d.heartbeatDone)
+	ticker := time.NewTicker(d.cfg.Heartbeat)
+	defer ticker.Stop()
+	lastCompact := time.Now()
+	for {
+		select {
+		case <-ticker.C:
+			if d.cfg.CompactEvery > 0 && time.Since(lastCompact) >= d.cfg.CompactEvery {
+				lastCompact = time.Now()
+				_ = d.Compact() // best effort; journals shrink next round
+			}
+			d.mu.Lock()
+			msg := wire.ReplHeartbeat{From: d.cfg.Index, State: d.state.Clone()}
+			peers := make([]string, 0, len(d.peers))
+			for _, p := range d.peers {
+				peers = append(peers, p)
+			}
+			d.updateSubscribersLocked()
+			d.mu.Unlock()
+			for _, p := range peers {
+				_ = d.node.Send(p, msg) // partitions surface elsewhere
+			}
+		case <-d.stopHeartbeat:
+			return
+		}
+	}
+}
+
+// handle dispatches incoming network messages.
+func (d *DC) handle(from string, msg any) any {
+	switch msg.(type) {
+	case wire.EdgeCommit, wire.Subscribe, wire.FetchObject, wire.MigratedTx:
+		if d.capacity != nil {
+			d.capacity <- struct{}{}
+			time.Sleep(d.cfg.ServiceTime)
+			defer func() { <-d.capacity }()
+		}
+	case wire.ReplTx:
+		// Applying a replicated transaction costs a fraction of a client
+		// request; this is what keeps N DCs from scaling capacity N× for
+		// write-heavy workloads.
+		if d.capacity != nil {
+			d.capacity <- struct{}{}
+			time.Sleep(d.cfg.ServiceTime / 4)
+			defer func() { <-d.capacity }()
+		}
+	}
+	switch m := msg.(type) {
+	case wire.ReplTx:
+		d.receiveReplicated(m)
+		return nil
+	case wire.ReplHeartbeat:
+		d.mesh.ObservePeer(m.From, m.State)
+		d.mu.Lock()
+		d.updateSubscribersLocked()
+		resend, peer := d.antiEntropyLocked(m)
+		d.mu.Unlock()
+		for _, msg := range resend {
+			if d.node.Send(peer, msg) != nil {
+				break
+			}
+		}
+		return nil
+	case wire.EdgeCommit:
+		return d.acceptEdgeTx(m.Tx)
+	case wire.Subscribe:
+		return d.subscribe(m)
+	case wire.Unsubscribe:
+		d.unsubscribe(m)
+		return nil
+	case wire.FetchObject:
+		return d.fetchObject(from, m.ID, m.At)
+	case wire.MigratedTx:
+		return d.runMigrated(m)
+	default:
+		return nil
+	}
+}
+
+// --- local (in-DC) transactions ---
+
+// Tx is an interactive transaction executing at this DC (a cloud client, a
+// migrated edge transaction, or a benchmark client in "no cache" mode).
+type Tx struct {
+	dc       *DC
+	dot      vclock.Dot
+	snapshot vclock.Vector
+	actor    string
+	updates  []txn.Update
+	done     bool
+}
+
+// Begin starts an interactive transaction on the DC's current state (SI
+// within the DC). The dot is minted up front so operations prepared against
+// the transaction's own buffered updates carry the final tags.
+func (d *DC) Begin(actor string) *Tx {
+	d.mu.Lock()
+	snap := d.state.Clone()
+	dot := vclock.Dot{Node: d.cfg.Name, Seq: d.lamport.Next()}
+	d.mu.Unlock()
+	return &Tx{dc: d, dot: dot, snapshot: snap, actor: actor}
+}
+
+// Read returns the object at the transaction snapshot, including the
+// transaction's own buffered updates.
+func (t *Tx) Read(id txn.ObjectID) (crdt.Object, error) {
+	obj, err := t.dc.coord.Read(id, t.snapshot, store.ReadOptions{})
+	if errors.Is(err, store.ErrNotFound) {
+		var kind crdt.Kind
+		for _, u := range t.updates {
+			if u.Object == id {
+				kind = u.Kind
+				break
+			}
+		}
+		if kind == 0 {
+			return nil, err
+		}
+		obj, err = crdt.New(kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range t.updates {
+		if u.Object != id {
+			continue
+		}
+		if err := obj.Apply(u.Meta(t.dot), u.Op); err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
+}
+
+// Update buffers one CRDT operation.
+func (t *Tx) Update(id txn.ObjectID, kind crdt.Kind, op crdt.Op) {
+	t.updates = append(t.updates, txn.Update{Object: id, Kind: kind, Op: op, Seq: len(t.updates)})
+}
+
+// Commit runs the ClockSI 2PC and replicates the transaction. Read-only
+// transactions commit trivially. The returned stamps are the concrete commit
+// descriptor.
+func (t *Tx) Commit() (vclock.CommitStamps, error) {
+	if t.done {
+		return nil, errors.New("dc: transaction already finished")
+	}
+	t.done = true
+	if len(t.updates) == 0 {
+		return nil, nil
+	}
+	tx := &txn.Transaction{
+		Dot:      t.dot,
+		Origin:   t.dc.cfg.Name,
+		Actor:    t.actor,
+		Snapshot: t.snapshot,
+		Updates:  t.updates,
+	}
+	return t.dc.commitLocal(tx)
+}
+
+// commitLocal publishes a transaction originated at this DC.
+func (d *DC) commitLocal(t *txn.Transaction) (vclock.CommitStamps, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if t.Dot.IsZero() {
+		t.Dot = vclock.Dot{Node: d.cfg.Name, Seq: d.lamport.Next()}
+	}
+	d.mu.Unlock()
+	return d.commitAt(t)
+}
+
+// commitAt runs the 2PC for a transaction (local or edge-originated),
+// assigning the commit timestamp from the DC sequencer, then records and
+// replicates it.
+func (d *DC) commitAt(t *txn.Transaction) (vclock.CommitStamps, error) {
+	stamps, err := d.coord.Commit(t, func(maxPrepare uint64) (int, uint64) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if maxPrepare > d.seq {
+			d.seq = maxPrepare
+		}
+		d.seq++
+		return d.cfg.Index, d.seq
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Commit = stamps
+	d.persist(t)
+	d.mu.Lock()
+	d.lamport.Witness(t.Dot.Seq)
+	d.state = t.Commit.JoinInto(d.state, t.Snapshot)
+	d.recordLocked(t)
+	d.mesh.ObserveSelf(d.state)
+	peers, repl := d.replMsgLocked(t)
+	d.updateSubscribersLocked()
+	d.mu.Unlock()
+	for _, p := range peers {
+		_ = d.node.Send(p, repl)
+	}
+	return stamps.Clone(), nil
+}
+
+// recordLocked appends the transaction to the causal log and the dot index,
+// applying the masking rule: a transaction failing the visibility check, or
+// depending on a masked transaction, is masked.
+func (d *DC) recordLocked(t *txn.Transaction) {
+	d.byDot[t.Dot] = t
+	d.replLog = append(d.replLog, t)
+	if !d.passesVisibilityLocked(t) {
+		d.masked[t.Dot] = t
+		return
+	}
+	d.log = append(d.log, t)
+}
+
+// passesVisibilityLocked applies the ACL hook plus transitive masking.
+func (d *DC) passesVisibilityLocked(t *txn.Transaction) bool {
+	if d.visible != nil && !d.visible(t) {
+		return false
+	}
+	for _, m := range d.masked {
+		if m.Commit.VisibleAt(m.Snapshot, t.Snapshot) {
+			return false // depends on a masked transaction
+		}
+	}
+	return true
+}
+
+// replMsgLocked builds the replication fan-out for a transaction.
+func (d *DC) replMsgLocked(t *txn.Transaction) ([]string, wire.ReplTx) {
+	peers := make([]string, 0, len(d.peers))
+	for _, p := range d.peers {
+		peers = append(peers, p)
+	}
+	return peers, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone()}
+}
+
+// antiEntropyLocked finds own-accepted transactions the heartbeat sender is
+// missing, so commits broadcast into a partition are retransmitted after the
+// partition heals. Duplicates on the receiving side are filtered by dot.
+func (d *DC) antiEntropyLocked(m wire.ReplHeartbeat) ([]wire.ReplTx, string) {
+	peer := d.peers[m.From]
+	if peer == "" {
+		return nil, ""
+	}
+	var out []wire.ReplTx
+	for _, t := range d.replLog {
+		ts, ours := t.Commit[d.cfg.Index]
+		if !ours || ts <= m.State.Get(d.cfg.Index) {
+			continue
+		}
+		out = append(out, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone()})
+		if len(out) >= 256 { // bound each round; the next heartbeat continues
+			break
+		}
+	}
+	return out, peer
+}
+
+// --- edge transaction acceptance (paper §3.7) ---
+
+// acceptEdgeTx handles an asynchronously committed edge transaction.
+func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return wire.EdgeCommitNack{Dot: t.Dot}
+	}
+	// Duplicate (e.g. re-sent after migration): re-ack with the stamps this
+	// DC already knows; the dot filter keeps effects exactly-once.
+	if prev, ok := d.byDot[t.Dot]; ok {
+		ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
+		for dc, ts := range prev.Commit {
+			ack.DCIndex, ack.Ts = dc, ts
+			break
+		}
+		d.mu.Unlock()
+		return ack
+	}
+	// Causal compatibility: the edge's dependencies must all be visible
+	// here, otherwise the edge node is incompatible with this DC (§3.8).
+	if !t.Snapshot.LEQ(d.state) {
+		missing := d.state.Clone()
+		d.mu.Unlock()
+		return wire.EdgeCommitNack{Dot: t.Dot, Missing: missing}
+	}
+	d.lamport.Witness(t.Dot.Seq)
+	d.mu.Unlock()
+
+	cp := t.Clone()
+	stamps, err := d.commitAt(cp)
+	if err != nil {
+		if errors.Is(err, store.ErrDuplicate) {
+			// Raced with replication of the same dot; fall through to re-ack.
+			d.mu.Lock()
+			prev, ok := d.byDot[t.Dot]
+			ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
+			if ok {
+				for dc, ts := range prev.Commit {
+					ack.DCIndex, ack.Ts = dc, ts
+					break
+				}
+			}
+			d.mu.Unlock()
+			if ok {
+				return ack
+			}
+		}
+		return wire.EdgeCommitNack{Dot: t.Dot}
+	}
+	ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
+	for dc, ts := range stamps {
+		ack.DCIndex, ack.Ts = dc, ts
+	}
+	return ack
+}
+
+// --- replication receive path ---
+
+// receiveReplicated applies transactions replicated from a peer DC once
+// their causal dependencies are satisfied.
+func (d *DC) receiveReplicated(m wire.ReplTx) {
+	d.mesh.ObservePeer(m.From, m.State)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	var ready []*txn.Transaction
+	if _, dup := d.byDot[m.Tx.Dot]; dup {
+		ready = d.mesh.Admit(nil, d.state)
+	} else {
+		// Clone: the sender's record (and other recipients') must not share
+		// mutable state with this DC's log.
+		ready = d.mesh.Admit(m.Tx.Clone(), d.state)
+	}
+	for _, t := range ready {
+		if _, dup := d.byDot[t.Dot]; dup {
+			continue
+		}
+		if err := d.coord.ApplyCommitted(t); err != nil && !errors.Is(err, store.ErrDuplicate) {
+			continue // skip malformed transaction, keep the DC alive
+		}
+		d.persist(t)
+		d.lamport.Witness(t.Dot.Seq)
+		d.state = t.Commit.JoinInto(d.state, t.Snapshot)
+		d.recordLocked(t)
+	}
+	d.mesh.ObserveSelf(d.state)
+	d.updateSubscribersLocked()
+	ackTo, ack := d.peers[m.From], wire.ReplHeartbeat{From: d.cfg.Index, State: d.state.Clone()}
+	d.mu.Unlock()
+	// Acknowledge with our new state vector so the sender's K-stability
+	// frontier advances promptly even without further traffic.
+	if len(ready) > 0 && ackTo != "" {
+		_ = d.node.Send(ackTo, ack)
+	}
+}
+
+// --- edge subscriptions and pushes ---
+
+// subscribe registers or extends an interest set and returns base versions
+// of the requested objects at the subscriber's stable cut.
+func (d *DC) subscribe(m wire.Subscribe) any {
+	d.mu.Lock()
+	sub := d.subs[m.Node]
+	if sub == nil {
+		start := d.mesh.KStable(d.cfg.K)
+		if m.Resume {
+			// The subscriber already holds state up to Since (from a
+			// previous connection or another DC); replay from there. Any
+			// overlap is deduplicated by dot on the subscriber.
+			start = m.Since.Clone()
+		}
+		sub = &subscription{
+			node:     m.Node,
+			interest: make(map[txn.ObjectID]bool),
+			stable:   start,
+		}
+		// Everything at or below the start cut is already held by the
+		// subscriber (via the object snapshots below, or its prior cache).
+		for _, t := range d.log {
+			if !t.VisibleAt(start) {
+				break
+			}
+			sub.logIdx++
+		}
+		d.subs[m.Node] = sub
+	} else if m.Resume && !sub.stable.LEQ(m.Since) {
+		// Reconnection of a live subscription with a cut behind our cursor:
+		// rewind so pushes lost during the disconnection are replayed. When
+		// the subscriber is already at or ahead of the cursor, nothing was
+		// lost and the (linear) rewind scan is skipped.
+		sub.stable = m.Since.Clone()
+		sub.logIdx = 0
+		for _, t := range d.log {
+			if !t.VisibleAt(m.Since) {
+				break
+			}
+			sub.logIdx++
+		}
+	}
+	// Seeds are materialised at the *current* stable cut, never at the
+	// (possibly rewound) subscription cursor: the cut must dominate every
+	// transaction already pushed to this subscriber, so that a replayed
+	// update skipped on arrival is guaranteed to be covered by the seed.
+	seedCut := d.mesh.KStable(d.cfg.K)
+	ack := wire.SubscribeAck{Stable: sub.stable.Clone()}
+	for _, id := range m.Objects {
+		sub.interest[id] = true
+		ack.Objects = append(ack.Objects, d.materializeLocked(id, seedCut))
+	}
+	d.updateSubscribersLocked()
+	d.mu.Unlock()
+	return ack
+}
+
+// unsubscribe shrinks an interest set (or drops the subscription entirely
+// when no objects remain).
+func (d *DC) unsubscribe(m wire.Unsubscribe) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sub := d.subs[m.Node]
+	if sub == nil {
+		return
+	}
+	if len(m.Objects) == 0 {
+		delete(d.subs, m.Node)
+		return
+	}
+	for _, id := range m.Objects {
+		delete(sub.interest, id)
+	}
+	if len(sub.interest) == 0 {
+		delete(d.subs, m.Node)
+	}
+}
+
+// fetchObject serves a cache miss. When the requester supplies its
+// transaction snapshot (At), the object is materialised at exactly that cut
+// so the read joins the transaction's snapshot atomically; the requester's
+// push cursor is rewound to the cut so updates above it are (re)delivered —
+// duplicates are filtered by dot and base vectors. Without a usable At the
+// DC serves its stable cut.
+func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cut := d.mesh.KStable(d.cfg.K)
+	if at.LEQ(d.state) {
+		// An empty At (a client with no state yet) correctly gets the
+		// initial cut: serving anything newer could tear the client's
+		// first transaction.
+		cut = at.Clone()
+	}
+	if sub := d.subs[requester]; sub != nil {
+		// Register interest under the same lock that serves the state:
+		// otherwise the push cursor could advance past a transaction
+		// touching this object between the fetch and the (asynchronous)
+		// subscription, losing it for good.
+		sub.interest[id] = true
+		if !sub.stable.LEQ(cut) {
+			// The cursor is ahead of the served cut: rewind so the gap is
+			// replayed (duplicates are filtered downstream).
+			sub.stable = cut.Clone()
+			sub.logIdx = 0
+			for _, t := range d.log {
+				if !t.VisibleAt(cut) {
+					break
+				}
+				sub.logIdx++
+			}
+		}
+	}
+	return d.materializeLocked(id, cut)
+}
+
+// materializeLocked clones the object state at the given cut.
+func (d *DC) materializeLocked(id txn.ObjectID, at vclock.Vector) wire.ObjectState {
+	obj, err := d.coord.Read(id, at, store.ReadOptions{})
+	if err != nil {
+		return wire.ObjectState{ID: id, Vec: at.Clone()}
+	}
+	return wire.ObjectState{ID: id, Kind: obj.Kind(), Object: obj, Vec: at.Clone()}
+}
+
+// updateSubscribersLocked pushes newly K-stable transactions to subscribers
+// in causal (log) order. The scan stops at the first not-yet-stable
+// transaction so pushes never reorder causally related updates.
+func (d *DC) updateSubscribersLocked() {
+	if len(d.subs) == 0 {
+		return
+	}
+	stable := d.mesh.KStable(d.cfg.K)
+	for _, sub := range d.subs {
+		var batch []*txn.Transaction
+		idx := sub.logIdx
+		for idx < len(d.log) {
+			t := d.log[idx]
+			if !t.VisibleAt(stable) {
+				break
+			}
+			idx++
+			filtered := t.Restrict(func(u txn.Update) bool { return sub.interest[u.Object] })
+			if len(filtered.Updates) > 0 {
+				batch = append(batch, filtered)
+			}
+		}
+		// KStable is monotone, so sub.stable (a previous cut) is always ≤
+		// stable; push when there is anything new to say.
+		if len(batch) == 0 && sub.stable.Equal(stable) {
+			continue
+		}
+		msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
+		if err := d.node.Send(sub.node, msg); err != nil {
+			// Subscriber unreachable (offline or migrated): leave the cursor
+			// in place; the next trigger retries, and a Resume subscribe
+			// rewinds it if the node reconnects elsewhere.
+			continue
+		}
+		sub.logIdx = idx
+		sub.stable = stable.Clone()
+	}
+}
+
+// --- migrated transactions (paper §3.9) ---
+
+// runMigrated executes a transaction shipped from an edge node against this
+// DC, at the client's own snapshot.
+func (d *DC) runMigrated(m wire.MigratedTx) any {
+	d.mu.Lock()
+	snap := m.Snapshot.Clone()
+	if snap == nil {
+		// A cloud client without local state reads the DC's current state.
+		snap = d.state.Clone()
+	} else if !m.Snapshot.LEQ(d.state) {
+		d.mu.Unlock()
+		return wire.MigratedTxAck{Err: ErrIncompatible.Error()}
+	}
+	dot := vclock.Dot{Node: d.cfg.Name, Seq: d.lamport.Next()}
+	d.mu.Unlock()
+
+	t := &Tx{dc: d, dot: dot, snapshot: snap, actor: m.Actor}
+	read := func(id txn.ObjectID) (crdt.Object, error) { return t.Read(id) }
+	update := func(id txn.ObjectID, kind crdt.Kind, op crdt.Op) error {
+		t.Update(id, kind, op)
+		return nil
+	}
+	if err := m.Fn(read, update); err != nil {
+		return wire.MigratedTxAck{Err: err.Error()}
+	}
+	stamps, err := t.Commit()
+	if err != nil {
+		return wire.MigratedTxAck{Err: err.Error()}
+	}
+	return wire.MigratedTxAck{Commit: stamps}
+}
+
+// --- maintenance ---
+
+// RecheckVisibility re-evaluates the visibility of every recorded
+// transaction against the current check — called after a security-policy
+// change, since ACL updates can retroactively mask (or unmask) versions
+// (paper §5.3: the policy exposes "a variable-size window" of the TCC+
+// store). Subscriber cursors are re-anchored at their stable cuts.
+func (d *DC) RecheckVisibility() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.masked = make(map[vclock.Dot]*txn.Transaction)
+	d.log = d.log[:0]
+	for _, t := range d.replLog {
+		if d.passesVisibilityLocked(t) {
+			d.log = append(d.log, t)
+		} else {
+			d.masked[t.Dot] = t
+		}
+	}
+	// Rewind every subscriber to the start of the log: retroactively
+	// unmasked transactions were never delivered, and subscribers
+	// deduplicate replays by dot.
+	for _, sub := range d.subs {
+		sub.logIdx = 0
+	}
+	d.updateSubscribersLocked()
+}
+
+// Compact folds journal entries below the current stable cut into base
+// versions on every shard (paper §4.1). Dots are retained so duplicate
+// filtering keeps working across migrations.
+func (d *DC) Compact() error {
+	return d.coord.Advance(d.Stable(), true)
+}
+
+// LogLen reports the number of visible transactions recorded at this DC
+// (exposed for tests and monitoring).
+func (d *DC) LogLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.log)
+}
+
+// MaskedCount reports how many transactions the visibility check has masked.
+func (d *DC) MaskedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.masked)
+}
+
+// ReadAt materialises an object at an arbitrary cut (used by tests and the
+// benchmark harness).
+func (d *DC) ReadAt(id txn.ObjectID, at vclock.Vector) (crdt.Object, error) {
+	return d.coord.Read(id, at, store.ReadOptions{})
+}

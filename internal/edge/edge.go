@@ -1,0 +1,911 @@
+// Package edge implements a Colony far-edge node (paper §3.7, §3.8, §4.2):
+// a client device that caches its interest set locally, commits transactions
+// asynchronously — immediately and locally, with the concrete commit vector
+// assigned later by the connected DC — works offline, and can migrate
+// between DCs without losing the TCC+ guarantees.
+package edge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colony/internal/crdt"
+	"colony/internal/simnet"
+	"colony/internal/store"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+	"colony/internal/wire"
+)
+
+// Errors returned by the edge API.
+var (
+	ErrClosed      = errors.New("edge: node closed")
+	ErrUnavailable = errors.New("edge: object not cached and the connected DC is unreachable")
+	ErrDone        = errors.New("edge: transaction already finished")
+)
+
+// ReadSource classifies where a read was served from — the hit classes the
+// paper's Figures 5–7 plot.
+type ReadSource int
+
+// The read sources.
+const (
+	SourceCache ReadSource = iota + 1 // local cache hit
+	SourceGroup                       // peer group collaborative cache
+	SourceDC                          // remote fetch from the connected DC
+)
+
+// String names the source.
+func (s ReadSource) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceGroup:
+		return "group"
+	case SourceDC:
+		return "dc"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Fetcher resolves a cache miss at (or compatibly near) the given snapshot
+// cut. The default fetcher asks the connected DC; peer groups install one
+// that tries the collaborative cache first.
+type Fetcher func(id txn.ObjectID, at vclock.Vector) (wire.ObjectState, ReadSource, error)
+
+// CommitHook intercepts locally committed transactions. The default pipeline
+// queues them for the connected DC; a peer group redirects them through
+// EPaxos and its sync point.
+type CommitHook func(t *txn.Transaction)
+
+// Config configures an edge node.
+type Config struct {
+	// Name is the node's network name (unique; also the dot namespace).
+	Name string
+	// Actor is the authenticated user, stamped on transactions for ACL
+	// checks.
+	Actor string
+	// DC is the connected DC's node name.
+	DC string
+	// CallTimeout bounds each RPC to the DC (default 2s).
+	CallTimeout time.Duration
+	// RetryInterval paces the commit sender's retries while the DC is
+	// unreachable (default 50ms).
+	RetryInterval time.Duration
+	// MaxUnacked bounds the asynchronous commit pipeline: Commit blocks
+	// while this many local transactions await their DC acknowledgement
+	// (0 = unbounded). The bound models a device's finite commit-log buffer
+	// and creates back-pressure when the DC falls behind.
+	MaxUnacked int
+}
+
+// Stats are cumulative counters exposed for experiments.
+type Stats struct {
+	Reads       int64
+	CacheHits   int64
+	GroupHits   int64
+	DCFetches   int64
+	TxCommitted int64
+	TxAcked     int64
+	TxNacked    int64
+}
+
+// Node is one edge device.
+type Node struct {
+	cfg  Config
+	node *simnet.Node
+
+	mu        sync.Mutex
+	closed    bool
+	lamport   vclock.Lamport
+	st        *store.Store
+	state     vclock.Vector // LUB of received stable cuts and acked local commits
+	stable    vclock.Vector // K-stable cut received from the DC
+	acked     vclock.Vector // LUB of concrete commit vectors of own acked txs
+	interest  map[txn.ObjectID]bool
+	unacked   []*txn.Transaction
+	connected string
+	hook      CommitHook
+	fetcher   Fetcher
+	extra     func(from string, msg any) any
+	pushHook  func(wire.PushTxs)
+	ackHook   func(wire.EdgeCommitAck)
+	visFn     func() map[vclock.Dot]bool
+	readMask  func(*txn.Transaction) bool
+	listeners map[txn.ObjectID][]func(txn.ObjectID)
+	stats     Stats
+	// failStreak/nextTry implement the commit pipeline's backoff.
+	failStreak int
+	nextTry    time.Time
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates an edge node and registers it on the network. Call Connect to
+// attach it to its DC, and Close when done.
+func New(net *simnet.Network, cfg Config) *Node {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	st := store.New(cfg.Name)
+	st.SetCacheMode(true)
+	n := &Node{
+		cfg:       cfg,
+		st:        st,
+		interest:  make(map[txn.ObjectID]bool),
+		connected: cfg.DC,
+		listeners: make(map[txn.ObjectID][]func(txn.ObjectID)),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	n.node = net.AddNode(cfg.Name, n.handle)
+	go n.senderLoop()
+	return n
+}
+
+// Close stops the node's background sender.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	<-n.done
+}
+
+// Name returns the node's network name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Actor returns the node's authenticated user.
+func (n *Node) Actor() string { return n.cfg.Actor }
+
+// Store exposes the node's versioned store to the group layer.
+func (n *Node) Store() *store.Store { return n.st }
+
+// Send transmits an arbitrary message from this node (used by the group
+// layer for peer-to-peer and consensus traffic).
+func (n *Node) Send(to string, msg any) error { return n.node.Send(to, msg) }
+
+// Call performs a request/response exchange from this node.
+func (n *Node) Call(ctx context.Context, to string, msg any) (any, error) {
+	return n.node.Call(ctx, to, msg)
+}
+
+// State returns the node's state vector (paper §4.2: the LUB of the state
+// received from the connected DC and the commit vectors of local
+// transactions).
+func (n *Node) State() vclock.Vector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state.Clone()
+}
+
+// StableVector returns the K-stable cut last received.
+func (n *Node) StableVector() vclock.Vector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stable.Clone()
+}
+
+// ConnectedDC returns the currently connected DC's node name.
+func (n *Node) ConnectedDC() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.connected
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// UnackedCount reports how many local transactions still await a concrete
+// commit vector.
+func (n *Node) UnackedCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.unacked)
+}
+
+// SetCommitHook redirects locally committed transactions (peer-group mode).
+func (n *Node) SetCommitHook(h CommitHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hook = h
+}
+
+// SetFetcher overrides cache-miss resolution (peer-group collaborative
+// cache).
+func (n *Node) SetFetcher(f Fetcher) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fetcher = f
+}
+
+// SetExtraHandler installs a handler for messages the edge layer does not
+// understand (peer-group and consensus traffic addressed to this node).
+func (n *Node) SetExtraHandler(h func(from string, msg any) any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.extra = h
+}
+
+// SetPushHook installs a callback invoked after every integrated push batch;
+// a group parent uses it to forward stable updates to its members.
+func (n *Node) SetPushHook(h func(wire.PushTxs)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pushHook = h
+}
+
+// SetAckHook installs a callback invoked after every DC commit ack; a group
+// parent (sync point) uses it to distribute concrete commit descriptors to
+// the members.
+func (n *Node) SetAckHook(h func(wire.EdgeCommitAck)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ackHook = h
+}
+
+// SetReadFilter installs a read-time masking predicate: transactions for
+// which mask returns true are hidden from this node's reads — the edge's
+// local ACL check (paper §6.4). Pass nil to clear.
+func (n *Node) SetReadFilter(mask func(*txn.Transaction) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.readMask = mask
+}
+
+// SetVisibility installs the group visibility log: reads treat the returned
+// dots as visible in addition to the snapshot cut (paper §5.1.4). The
+// returned map must be treated as immutable (copy-on-write on the group
+// side).
+func (n *Node) SetVisibility(fn func() map[vclock.Dot]bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.visFn = fn
+}
+
+// EnqueueForDC queues an externally managed transaction (a group-visible
+// transaction at the sync point) for the asynchronous DC commit pipeline.
+// The transaction must already be applied to this node's store.
+func (n *Node) EnqueueForDC(t *txn.Transaction) {
+	n.mu.Lock()
+	n.unacked = append(n.unacked, t)
+	n.mu.Unlock()
+	n.kickSender()
+}
+
+// ApplyGroupTx integrates a transaction ordered by the group's consensus:
+// it is applied to the store (idempotently; the store skips updates to
+// objects this cache does not hold) and update listeners fire. The caller
+// makes it readable through the visibility log.
+func (n *Node) ApplyGroupTx(shared *txn.Transaction) {
+	t := shared.Clone() // the caller's record fans out to many stores
+	n.mu.Lock()
+	n.lamport.Witness(t.Dot.Seq)
+	var fns []boundListener
+	if err := n.st.Apply(t); err == nil {
+		touched := make(map[txn.ObjectID]bool)
+		for _, id := range t.Objects() {
+			touched[id] = true
+		}
+		fns = n.listenersFor(touched)
+	}
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn.fn(fn.id)
+	}
+}
+
+// Promote records a concrete commit descriptor decided by a DC for a
+// transaction in this node's store (distributed by the sync point), and
+// advances the node's vectors.
+func (n *Node) Promote(dot vclock.Dot, dcIdx int, ts uint64, stable vclock.Vector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.st.Promote(dot, dcIdx, ts)
+	if t, ok := n.st.Transaction(dot); ok {
+		if cv, ok := t.CommitVector(); ok {
+			n.state = n.state.Join(cv)
+			if t.Origin == n.cfg.Name {
+				n.acked = n.acked.Join(cv)
+			}
+		}
+	}
+	n.stable = n.stable.Join(stable)
+	n.state = n.state.Join(n.stable)
+}
+
+// OnUpdate subscribes a callback fired whenever the object changes (local
+// commit or remote update) — the reactive-programming hook of the paper's
+// API (§6.1).
+func (n *Node) OnUpdate(id txn.ObjectID, fn func(txn.ObjectID)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.listeners[id] = append(n.listeners[id], fn)
+}
+
+// Connect subscribes the node to its configured DC and initialises the
+// stability cut. It is also used to re-attach after a disconnection.
+func (n *Node) Connect() error {
+	n.mu.Lock()
+	dc := n.connected
+	ids := make([]txn.ObjectID, 0, len(n.interest))
+	for id := range n.interest {
+		ids = append(ids, id)
+	}
+	since := n.stable.Clone()
+	n.mu.Unlock()
+	return n.subscribe(dc, ids, true, since)
+}
+
+// Migrate detaches the node from its current DC and attaches it to newDC
+// (paper §3.8). Unacknowledged transactions are re-sent to the new DC; dots
+// filter the duplicates if the old DC had already accepted them.
+func (n *Node) Migrate(newDC string) error {
+	n.mu.Lock()
+	old := n.connected
+	n.connected = newDC
+	ids := make([]txn.ObjectID, 0, len(n.interest))
+	for id := range n.interest {
+		ids = append(ids, id)
+	}
+	since := n.stable.Clone()
+	n.mu.Unlock()
+	if err := n.subscribe(newDC, ids, true, since); err != nil {
+		// Roll back to the previous DC on failure; the caller may retry.
+		n.mu.Lock()
+		n.connected = old
+		n.mu.Unlock()
+		return fmt.Errorf("edge: migrate to %s: %w", newDC, err)
+	}
+	n.kickSender()
+	return nil
+}
+
+// AddInterest declares interest in objects, pulling them into the cache
+// (paper §4.2). kind seeds fresh objects the system has never stored.
+func (n *Node) AddInterest(ids ...txn.ObjectID) error {
+	n.mu.Lock()
+	dc := n.connected
+	since := n.stable.Clone()
+	n.mu.Unlock()
+	return n.subscribe(dc, ids, true, since)
+}
+
+// RemoveInterest evicts objects from the cache and unsubscribes them.
+func (n *Node) RemoveInterest(ids ...txn.ObjectID) {
+	n.mu.Lock()
+	dc := n.connected
+	for _, id := range ids {
+		delete(n.interest, id)
+		n.st.Evict(id)
+	}
+	n.mu.Unlock()
+	_ = n.node.Send(dc, wire.Unsubscribe{Node: n.cfg.Name, Objects: ids})
+}
+
+// subscribe performs the Subscribe RPC and integrates the reply. A timed-out
+// call is retried twice: subscriptions are idempotent, and a momentarily
+// overloaded DC should not fail session setup.
+func (n *Node) subscribe(dc string, ids []txn.ObjectID, resume bool, since vclock.Vector) error {
+	var (
+		reply any
+		err   error
+	)
+	// A resume without any previous cut is just a fresh subscription; an
+	// empty Since would anchor the subscription (and this node's stable
+	// baseline) at the empty cut.
+	resume = resume && len(since) > 0
+	for attempt := 0; attempt < 3; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+		reply, err = n.node.Call(ctx, dc, wire.Subscribe{
+			Node: n.cfg.Name, Objects: ids, Resume: resume, Since: since,
+		})
+		cancel()
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("edge: subscribe to %s: %w", dc, err)
+	}
+	ack, ok := reply.(wire.SubscribeAck)
+	if !ok {
+		return fmt.Errorf("edge: unexpected subscribe reply %T", reply)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range ids {
+		n.interest[id] = true
+	}
+	for _, st := range ack.Objects {
+		if st.Object != nil && !n.st.Has(st.ID) {
+			n.st.Seed(st.ID, st.Object, st.Vec, st.Folded...)
+			// The node's cut must cover every base it holds, or a
+			// transaction could read one object's base (which bakes in a
+			// commit) while another object's journal entry for the same
+			// commit is still below the snapshot — a torn, non-atomic read.
+			n.state = n.state.Join(st.Vec)
+		}
+	}
+	n.stable = n.stable.Join(ack.Stable)
+	n.state = n.state.Join(n.stable)
+	return nil
+}
+
+// --- message handling ---
+
+func (n *Node) handle(from string, msg any) any {
+	switch m := msg.(type) {
+	case wire.PushTxs:
+		n.ApplyPush(m)
+		return nil
+	default:
+		n.mu.Lock()
+		extra := n.extra
+		n.mu.Unlock()
+		if extra != nil {
+			return extra(from, msg)
+		}
+		return nil
+	}
+}
+
+// ApplyPush integrates a batch of stable transactions (from the connected DC
+// or, in a peer group, relayed by the sync point). Duplicates are filtered
+// by dot.
+func (n *Node) ApplyPush(m wire.PushTxs) {
+	touched := make(map[txn.ObjectID]bool)
+	n.mu.Lock()
+	for _, shared := range m.Txs {
+		// Clone before storing: the same message (and transaction pointer)
+		// fans out to many receivers, and each store mutates its record's
+		// commit stamps independently.
+		t := shared.Clone()
+		n.lamport.Witness(t.Dot.Seq)
+		if err := n.st.Apply(t); err != nil {
+			continue // duplicate or malformed
+		}
+		// Fire events for every touched object with a listener, cached or
+		// not: the listener's read pulls an uncached object into the cache.
+		for _, id := range t.Objects() {
+			touched[id] = true
+		}
+	}
+	n.stable = n.stable.Join(m.Stable)
+	n.state = n.state.Join(n.stable)
+	fns := n.listenersFor(touched)
+	hook := n.pushHook
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn.fn(fn.id)
+	}
+	if hook != nil {
+		hook(m)
+	}
+}
+
+// listener invocation plumbing: callbacks run outside the node lock.
+type boundListener struct {
+	id txn.ObjectID
+	fn func(txn.ObjectID)
+}
+
+func (n *Node) listenersFor(touched map[txn.ObjectID]bool) []boundListener {
+	var out []boundListener
+	for id := range touched {
+		for _, fn := range n.listeners[id] {
+			out = append(out, boundListener{id: id, fn: fn})
+		}
+	}
+	return out
+}
+
+// --- transactions ---
+
+// Tx is an interactive transaction on the edge node. Reads come from the
+// snapshot taken at Begin (plus the transaction's own updates); the commit
+// is local and immediate, with the DC round-trip happening asynchronously.
+type Tx struct {
+	n        *Node
+	dot      vclock.Dot
+	snapshot vclock.Vector
+	updates  []txn.Update
+	done     bool
+}
+
+// Begin starts a transaction on the node's current state vector. The
+// transaction's dot is minted here so that operations prepared against the
+// transaction's own buffered updates (an RGA insert anchored on an element
+// inserted earlier in the same transaction, for instance) reference the
+// final update tags.
+func (n *Node) Begin() *Tx {
+	n.mu.Lock()
+	snap := n.state.Clone()
+	dot := vclock.Dot{Node: n.cfg.Name, Seq: n.lamport.Next()}
+	n.mu.Unlock()
+	return &Tx{n: n, dot: dot, snapshot: snap}
+}
+
+// Read returns the object, resolving cache misses through the group/DC
+// fetch path.
+func (t *Tx) Read(id txn.ObjectID, kind crdt.Kind) (crdt.Object, error) {
+	obj, _, err := t.ReadTracked(id, kind)
+	return obj, err
+}
+
+// ReadTracked is Read plus the hit class, for experiments.
+func (t *Tx) ReadTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, ReadSource, error) {
+	if t.done {
+		return nil, 0, ErrDone
+	}
+	t.n.mu.Lock()
+	t.n.stats.Reads++
+	t.n.mu.Unlock()
+
+	t.n.mu.Lock()
+	visFn := t.n.visFn
+	mask := t.n.readMask
+	t.n.mu.Unlock()
+	opts := store.ReadOptions{SelfVisible: true, Reject: mask}
+	if visFn != nil {
+		opts.ExtraVisible = visFn()
+	}
+	source := SourceCache
+	obj, err := t.n.st.Read(id, t.snapshot, opts)
+	if errors.Is(err, store.ErrNotFound) {
+		obj, source, err = t.n.fetchMiss(id, kind, t.snapshot)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	t.n.mu.Lock()
+	switch source {
+	case SourceCache:
+		t.n.stats.CacheHits++
+	case SourceGroup:
+		t.n.stats.GroupHits++
+	case SourceDC:
+		t.n.stats.DCFetches++
+	}
+	t.n.mu.Unlock()
+	// Read-your-writes within the transaction, under the final update tags.
+	for _, u := range t.updates {
+		if u.Object != id {
+			continue
+		}
+		if err := obj.Apply(u.Meta(t.dot), u.Op); err != nil {
+			return nil, 0, err
+		}
+	}
+	return obj, source, nil
+}
+
+// fetchMiss pulls an object into the cache through the fetcher (group cache
+// or connected DC) and registers interest in it. The transaction's snapshot
+// travels with the fetch so the served version joins the snapshot without
+// tearing it.
+func (n *Node) fetchMiss(id txn.ObjectID, kind crdt.Kind, at vclock.Vector) (crdt.Object, ReadSource, error) {
+	n.mu.Lock()
+	fetch := n.fetcher
+	n.mu.Unlock()
+	if fetch == nil {
+		fetch = n.fetchFromDC
+	}
+	st, source, err := fetch(id, at)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	obj := st.Object
+	if obj == nil {
+		// The object has no state anywhere yet: it starts from the initial
+		// state of its type.
+		fresh, err := crdt.New(kind)
+		if err != nil {
+			return nil, 0, err
+		}
+		obj = fresh
+	}
+	n.mu.Lock()
+	if !n.st.Has(id) {
+		n.st.Seed(id, obj, st.Vec, st.Folded...)
+		n.state = n.state.Join(st.Vec) // see subscribe: bases stay ≤ state
+	}
+	n.interest[id] = true
+	dc := n.connected
+	name := n.cfg.Name
+	since := n.stable.Clone()
+	n.mu.Unlock()
+	// Register the subscription upstream; best-effort, the seed already
+	// serves this transaction. Since anchors the resume at our stable cut —
+	// an empty Since would rewind the subscription and replay the whole log
+	// on every cache miss.
+	_ = n.node.Send(dc, wire.Subscribe{Node: name, Objects: []txn.ObjectID{id}, Resume: true, Since: since})
+	return obj.Clone(), source, nil
+}
+
+// fetchFromDC is the default cache-miss fetcher.
+func (n *Node) fetchFromDC(id txn.ObjectID, at vclock.Vector) (wire.ObjectState, ReadSource, error) {
+	n.mu.Lock()
+	dc := n.connected
+	n.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	reply, err := n.node.Call(ctx, dc, wire.FetchObject{ID: id, At: at})
+	if err != nil {
+		return wire.ObjectState{}, 0, err
+	}
+	st, ok := reply.(wire.ObjectState)
+	if !ok {
+		return wire.ObjectState{}, 0, fmt.Errorf("edge: unexpected fetch reply %T", reply)
+	}
+	return st, SourceDC, nil
+}
+
+// Update buffers one CRDT operation.
+func (t *Tx) Update(id txn.ObjectID, kind crdt.Kind, op crdt.Op) {
+	t.updates = append(t.updates, txn.Update{Object: id, Kind: kind, Op: op, Seq: len(t.updates)})
+}
+
+// Commit commits the transaction locally — immediately, without waiting for
+// the DC (paper §3.7) — and schedules the asynchronous DC commit. It returns
+// the transaction record (nil for read-only transactions).
+func (t *Tx) Commit() (*txn.Transaction, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	t.done = true
+	if len(t.updates) == 0 {
+		return nil, nil
+	}
+	n := t.n
+	// Back-pressure: bound the async pipeline (ignored in group mode, where
+	// the group layer applies its own pending bound).
+	if n.cfg.MaxUnacked > 0 {
+		for {
+			n.mu.Lock()
+			if n.closed || n.hook != nil || len(n.unacked) < n.cfg.MaxUnacked {
+				break
+			}
+			n.mu.Unlock()
+			time.Sleep(n.cfg.RetryInterval)
+		}
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tx := &txn.Transaction{
+		Dot:      t.dot,
+		Origin:   n.cfg.Name,
+		Actor:    n.cfg.Actor,
+		Snapshot: t.snapshot.Clone(),
+		Updates:  t.updates,
+	}
+	if err := n.st.Apply(tx); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	n.stats.TxCommitted++
+	hook := n.hook
+	touched := make(map[txn.ObjectID]bool, len(tx.Updates))
+	for _, id := range tx.Objects() {
+		n.interest[id] = true
+		touched[id] = true
+	}
+	var fns []boundListener
+	if hook == nil {
+		n.unacked = append(n.unacked, tx)
+	}
+	fns = n.listenersFor(touched)
+	// The canonical record stays in the store (its commit stamps and
+	// snapshot keep evolving under the store lock); callers and the commit
+	// hook get an independent snapshot of it.
+	cp := tx.Clone()
+	n.mu.Unlock()
+
+	if hook != nil {
+		hook(cp)
+	} else {
+		n.kickSender()
+	}
+	for _, fn := range fns {
+		fn.fn(fn.id)
+	}
+	return cp, nil
+}
+
+// --- asynchronous commit sender ---
+
+func (n *Node) kickSender() {
+	n.mu.Lock()
+	n.failStreak = 0
+	n.nextTry = time.Time{}
+	n.mu.Unlock()
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// senderLoop ships locally committed transactions to the connected DC in
+// order, resolving each transaction's symbolic snapshot with the concrete
+// commit vectors of its predecessors just before sending. Unreachable DCs
+// pause the pipeline; the retry ticker resumes it.
+func (n *Node) senderLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.kick:
+		case <-ticker.C:
+		}
+		n.drainUnacked()
+	}
+}
+
+// drainUnacked sends queued transactions until the queue empties or the DC
+// stops answering. Failures back off exponentially (up to 64× the retry
+// interval) so an unreachable DC is probed, not hammered.
+func (n *Node) drainUnacked() {
+	n.mu.Lock()
+	wait := n.nextTry
+	n.mu.Unlock()
+	if time.Now().Before(wait) {
+		return
+	}
+	for {
+		n.mu.Lock()
+		if n.closed || len(n.unacked) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		head := n.unacked[0]
+		dcName := n.connected
+		acked := n.acked.Clone()
+		n.mu.Unlock()
+
+		cp, err := n.st.ResolveSnapshot(head.Dot, acked)
+		if err != nil {
+			// The transaction vanished from the store (compaction bug);
+			// drop it rather than wedging the pipeline.
+			n.mu.Lock()
+			n.unacked = n.unacked[1:]
+			n.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+		reply, err := n.node.Call(ctx, dcName, wire.EdgeCommit{Tx: cp})
+		cancel()
+		if err != nil {
+			n.recordFailure()
+			return // offline; retry after backoff
+		}
+		switch ack := reply.(type) {
+		case wire.EdgeCommitAck:
+			n.mu.Lock()
+			n.failStreak = 0
+			n.nextTry = time.Time{}
+			ackHook := n.ackHook
+			if err := n.st.Promote(ack.Dot, ack.DCIndex, ack.Ts); err == nil {
+				n.stats.TxAcked++
+			}
+			if t, ok := n.st.Transaction(ack.Dot); ok {
+				if cv, ok := t.CommitVector(); ok {
+					n.acked = n.acked.Join(cv)
+					n.state = n.state.Join(cv)
+				}
+			}
+			n.stable = n.stable.Join(ack.Stable)
+			n.state = n.state.Join(n.stable)
+			if len(n.unacked) > 0 && n.unacked[0].Dot == ack.Dot {
+				n.unacked = n.unacked[1:]
+			}
+			n.mu.Unlock()
+			if ackHook != nil {
+				ackHook(ack)
+			}
+		case wire.EdgeCommitNack:
+			// Causal incompatibility with this DC (paper §3.8): the node is
+			// effectively disconnected until it migrates or the DC catches
+			// up. Keep the transaction queued and back off.
+			n.mu.Lock()
+			n.stats.TxNacked++
+			n.mu.Unlock()
+			n.recordFailure()
+			return
+		default:
+			return
+		}
+	}
+}
+
+// recordFailure grows the commit pipeline's backoff window.
+func (n *Node) recordFailure() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failStreak < 6 {
+		n.failStreak++
+	}
+	delay := n.cfg.RetryInterval << n.failStreak // up to 64× the interval
+	n.nextTry = time.Now().Add(delay)
+}
+
+// Value reads an object's query value outside a transaction, at the node's
+// current state (convenience for tests and examples).
+func (n *Node) Value(id txn.ObjectID, kind crdt.Kind) (any, error) {
+	tx := n.Begin()
+	obj, err := tx.Read(id, kind)
+	if err != nil {
+		return nil, err
+	}
+	_, _ = tx.Commit()
+	return obj.Value(), nil
+}
+
+// RunAtDC migrates a resource-hungry transaction to the connected DC for
+// execution (paper §3.9). The DC executes fn at this node's state vector, so
+// the effect is as if it ran locally; only performance differs.
+func (n *Node) RunAtDC(fn func(read wire.TxReader, update wire.TxUpdater) error) (vclock.CommitStamps, error) {
+	n.mu.Lock()
+	dcName := n.connected
+	snap := n.state.Clone()
+	unsent := len(n.unacked)
+	n.mu.Unlock()
+	// The DC must have received our local transactions first (§3.9); flush
+	// the pipeline before shipping the code.
+	if unsent > 0 {
+		n.kickSender()
+		deadline := time.Now().Add(n.cfg.CallTimeout)
+		for time.Now().Before(deadline) {
+			if n.UnackedCount() == 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if n.UnackedCount() > 0 {
+			return nil, fmt.Errorf("edge: %w: local transactions not yet acknowledged", ErrUnavailable)
+		}
+		n.mu.Lock()
+		snap = n.state.Clone()
+		n.mu.Unlock()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	reply, err := n.node.Call(ctx, dcName, wire.MigratedTx{
+		Origin: n.cfg.Name, Actor: n.cfg.Actor, Snapshot: snap, Fn: fn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := reply.(wire.MigratedTxAck)
+	if !ok {
+		return nil, fmt.Errorf("edge: unexpected reply %T", reply)
+	}
+	if ack.Err != "" {
+		return nil, errors.New(ack.Err)
+	}
+	return ack.Commit, nil
+}

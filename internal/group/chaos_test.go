@@ -1,0 +1,83 @@
+package group
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"colony/internal/crdt"
+	"colony/internal/edge"
+)
+
+// TestGroupChaosConvergence stress-tests a peer group under random member
+// disconnections and reconnections while every member commits interfering
+// updates: after the chaos ends and the network heals, every member, the
+// parent, and the DC converge to the same counter value.
+func TestGroupChaosConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	r := newRig(t, 1, 1, 4, VariantAsync)
+	for _, n := range r.nodes {
+		if err := n.AddInterest(xID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	var want int64
+	offline := make(map[int]bool)
+	for round := 0; round < 12; round++ {
+		// Flip one member's connectivity.
+		victim := rng.Intn(len(r.nodes))
+		name := fmt.Sprintf("peer%d", victim)
+		if offline[victim] {
+			r.net.Rejoin(name)
+			delete(offline, victim)
+		} else if len(offline) < len(r.nodes)-2 { // keep a quorum online
+			r.net.Isolate(name)
+			offline[victim] = true
+		}
+		// Everyone commits locally regardless of connectivity.
+		for i, n := range r.nodes {
+			_ = i
+			tx := n.Begin()
+			tx.Update(xID, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+			if _, err := tx.Commit(); err == nil {
+				want++
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := range r.nodes {
+		r.net.Rejoin(fmt.Sprintf("peer%d", i))
+	}
+
+	check := func(n *edge.Node) bool { return counterAt(t, n) == want }
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range r.nodes {
+			if !check(n) {
+				all = false
+				break
+			}
+		}
+		if all {
+			obj, err := r.dcs[0].ReadAt(xID, r.dcs[0].State())
+			if err == nil && obj.(*crdt.Counter).Total() == want {
+				return
+			}
+			all = false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, n := range r.nodes {
+		t.Logf("peer%d: %d (want %d)", i, counterAt(t, n), want)
+	}
+	obj, err := r.dcs[0].ReadAt(xID, r.dcs[0].State())
+	if err == nil {
+		t.Logf("dc0: %d", obj.(*crdt.Counter).Total())
+	}
+	t.Fatal("group never converged after chaos")
+}

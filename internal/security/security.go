@@ -1,0 +1,207 @@
+// Package security implements Colony's trust machinery (paper §2.4, §5.3,
+// §6.4): a session manager in the core cloud that authenticates clients and
+// hands out per-object symmetric session keys, and an encryption envelope
+// for end-to-end protection of object contents — the untrusted cloud sees
+// only ciphertext and serves merely for transport and persistence.
+//
+// Keys are derived per object from a master secret with HMAC-SHA256, so
+// every authorised client independently derives the same key, and the key
+// remains valid through disconnection and reconnection. Envelopes use
+// AES-256-GCM. Decentralised authentication is future work in the paper and
+// out of scope here.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sync"
+
+	"colony/internal/txn"
+)
+
+// Errors returned by the package.
+var (
+	ErrAuthFailed   = errors.New("security: authentication failed")
+	ErrBadToken     = errors.New("security: unknown or expired session token")
+	ErrNotPermitted = errors.New("security: user may not access this object")
+	ErrCorrupt      = errors.New("security: ciphertext corrupt or wrong key")
+)
+
+// SessionManager authenticates application nodes and distributes session
+// keys (paper §6.2: opening a client session relies on a server in the core
+// cloud, which simplifies authentication and trust management).
+type SessionManager struct {
+	mu sync.Mutex
+	// credentials maps user → shared secret (in production, any identity
+	// provider; the evaluation needs only the protocol shape).
+	credentials map[string]string
+	master      []byte
+	sessions    map[string]string // token → user
+	// access optionally restricts which users may obtain which objects'
+	// keys; nil allows any authenticated user.
+	access func(user string, id txn.ObjectID) bool
+}
+
+// NewSessionManager creates a session manager with a fresh random master
+// secret.
+func NewSessionManager() *SessionManager {
+	master := make([]byte, 32)
+	if _, err := rand.Read(master); err != nil {
+		panic("security: no entropy: " + err.Error())
+	}
+	return &SessionManager{
+		credentials: make(map[string]string),
+		master:      master,
+		sessions:    make(map[string]string),
+	}
+}
+
+// Register adds a user credential.
+func (sm *SessionManager) Register(user, secret string) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.credentials[user] = secret
+}
+
+// SetAccessCheck restricts key distribution (e.g. to collaboration-group
+// members).
+func (sm *SessionManager) SetAccessCheck(fn func(user string, id txn.ObjectID) bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.access = fn
+}
+
+// Authenticate validates the credential and opens a session, returning the
+// session token.
+func (sm *SessionManager) Authenticate(user, secret string) (string, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	want, ok := sm.credentials[user]
+	if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(secret)) != 1 {
+		return "", ErrAuthFailed
+	}
+	raw := make([]byte, 24)
+	if _, err := rand.Read(raw); err != nil {
+		return "", fmt.Errorf("security: token generation: %w", err)
+	}
+	token := base64.RawURLEncoding.EncodeToString(raw)
+	sm.sessions[token] = user
+	return token, nil
+}
+
+// User resolves a session token.
+func (sm *SessionManager) User(token string) (string, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	user, ok := sm.sessions[token]
+	if !ok {
+		return "", ErrBadToken
+	}
+	return user, nil
+}
+
+// CloseSession invalidates a token.
+func (sm *SessionManager) CloseSession(token string) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	delete(sm.sessions, token)
+}
+
+// ObjectKey returns the 32-byte session key for one shared object. All
+// authorised clients receive the same key, so they can decrypt each other's
+// updates and sign their own. The key survives disconnection (it is a pure
+// function of the master secret and the object id).
+func (sm *SessionManager) ObjectKey(token string, id txn.ObjectID) ([]byte, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	user, ok := sm.sessions[token]
+	if !ok {
+		return nil, ErrBadToken
+	}
+	if sm.access != nil && !sm.access(user, id) {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotPermitted, user, id)
+	}
+	return DeriveKey(sm.master, id), nil
+}
+
+// DeriveKey derives the per-object key: HMAC-SHA256(master, object id).
+func DeriveKey(master []byte, id txn.ObjectID) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(id.String()))
+	return mac.Sum(nil)
+}
+
+// Seal encrypts plaintext under key with AES-256-GCM, binding the optional
+// associated data (typically the object id and actor). Output layout:
+// nonce || ciphertext+tag.
+func Seal(key, plaintext, associated []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("security: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, associated), nil
+}
+
+// Open decrypts a Seal envelope, failing with ErrCorrupt on any tampering or
+// key mismatch.
+func Open(key, envelope, associated []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(envelope) < gcm.NonceSize() {
+		return nil, ErrCorrupt
+	}
+	nonce, ct := envelope[:gcm.NonceSize()], envelope[gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, ct, associated)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return pt, nil
+}
+
+// SealString and OpenString are convenience wrappers that base64-encode the
+// envelope so it can live inside string-valued CRDTs (registers, sets, RGA
+// elements).
+func SealString(key []byte, plaintext string, associated []byte) (string, error) {
+	env, err := Seal(key, []byte(plaintext), associated)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(env), nil
+}
+
+// OpenString reverses SealString.
+func OpenString(key []byte, envelope string, associated []byte) (string, error) {
+	raw, err := base64.StdEncoding.DecodeString(envelope)
+	if err != nil {
+		return "", ErrCorrupt
+	}
+	pt, err := Open(key, raw, associated)
+	if err != nil {
+		return "", err
+	}
+	return string(pt), nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("security: key must be 32 bytes, got %d", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

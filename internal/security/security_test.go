@@ -1,0 +1,155 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"colony/internal/txn"
+)
+
+var docID = txn.ObjectID{Bucket: "docs", Key: "design"}
+
+func TestAuthenticateAndResolve(t *testing.T) {
+	sm := NewSessionManager()
+	sm.Register("alice", "s3cret")
+
+	if _, err := sm.Authenticate("alice", "wrong"); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("bad secret: %v", err)
+	}
+	if _, err := sm.Authenticate("ghost", "x"); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	token, err := sm.Authenticate("alice", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := sm.User(token)
+	if err != nil || user != "alice" {
+		t.Fatalf("User = %q, %v", user, err)
+	}
+	sm.CloseSession(token)
+	if _, err := sm.User(token); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("closed session resolved: %v", err)
+	}
+}
+
+func TestObjectKeysAreSharedAndStable(t *testing.T) {
+	sm := NewSessionManager()
+	sm.Register("alice", "a")
+	sm.Register("bob", "b")
+	ta, _ := sm.Authenticate("alice", "a")
+	tb, _ := sm.Authenticate("bob", "b")
+
+	ka, err := sm.ObjectKey(ta, docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := sm.ObjectKey(tb, docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Fatal("collaborators must share the object key")
+	}
+	// Key survives disconnection/reconnection (new session, same key).
+	sm.CloseSession(ta)
+	ta2, _ := sm.Authenticate("alice", "a")
+	ka2, err := sm.ObjectKey(ta2, docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, ka2) {
+		t.Fatal("key changed across reconnection")
+	}
+	// Different objects get different keys.
+	other, _ := sm.ObjectKey(ta2, txn.ObjectID{Bucket: "docs", Key: "other"})
+	if bytes.Equal(ka, other) {
+		t.Fatal("distinct objects share a key")
+	}
+}
+
+func TestAccessCheckGatesKeys(t *testing.T) {
+	sm := NewSessionManager()
+	sm.Register("alice", "a")
+	sm.Register("eve", "e")
+	sm.SetAccessCheck(func(user string, _ txn.ObjectID) bool { return user == "alice" })
+	ta, _ := sm.Authenticate("alice", "a")
+	te, _ := sm.Authenticate("eve", "e")
+	if _, err := sm.ObjectKey(ta, docID); err != nil {
+		t.Fatalf("authorised user refused: %v", err)
+	}
+	if _, err := sm.ObjectKey(te, docID); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("unauthorised user served: %v", err)
+	}
+	if _, err := sm.ObjectKey("bogus", docID); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("bogus token served: %v", err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("master-secret-material"), docID)
+	ad := []byte("docs/design|alice")
+	env, err := Seal(key, []byte("attack at dawn"), ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Open(key, env, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "attack at dawn" {
+		t.Fatalf("plaintext = %q", pt)
+	}
+	// Each Seal uses a fresh nonce.
+	env2, _ := Seal(key, []byte("attack at dawn"), ad)
+	if bytes.Equal(env, env2) {
+		t.Fatal("nonce reuse")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := DeriveKey([]byte("master"), docID)
+	env, err := Seal(key, []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a ciphertext bit.
+	bad := append([]byte(nil), env...)
+	bad[len(bad)-1] ^= 1
+	if _, err := Open(key, bad, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered envelope opened: %v", err)
+	}
+	// Wrong key.
+	otherKey := DeriveKey([]byte("master"), txn.ObjectID{Bucket: "d", Key: "o"})
+	if _, err := Open(otherKey, env, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong key opened: %v", err)
+	}
+	// Wrong associated data (e.g. replayed under a different object).
+	if _, err := Open(key, env, []byte("other-ad")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong AD opened: %v", err)
+	}
+	// Truncated envelope.
+	if _, err := Open(key, env[:4], nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated envelope opened: %v", err)
+	}
+	// Bad key length.
+	if _, err := Seal([]byte("short"), []byte("x"), nil); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestSealStringRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("master"), docID)
+	env, err := SealString(key, "bonjour", []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := OpenString(key, env, []byte("ad"))
+	if err != nil || pt != "bonjour" {
+		t.Fatalf("round trip = %q, %v", pt, err)
+	}
+	if _, err := OpenString(key, "!!!not-base64!!!", nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad base64 opened: %v", err)
+	}
+}

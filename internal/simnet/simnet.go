@@ -1,0 +1,394 @@
+// Package simnet is Colony's network substrate for local experiments. It
+// replaces the paper's testbed machinery — Docker containers, 10 Gb/s
+// switches shaped with Linux tc, RabbitMQ sockets between DCs and WebRTC
+// between peers — with an in-process message bus whose links have
+// configurable latency, jitter, loss and partitions.
+//
+// Delivery on a link is reliable (unless lossy) and FIFO, matching TCP and
+// ordered WebRTC data channels. A global Scale factor shrinks all latencies
+// proportionally so that the paper's minutes-long runs finish in seconds
+// without changing who waits on whom.
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the network.
+var (
+	ErrClosed      = errors.New("simnet: network closed")
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrUnreachable = errors.New("simnet: link down")
+	ErrLost        = errors.New("simnet: message lost")
+)
+
+// Handler processes one incoming message on a node. The returned value is
+// sent back to the caller for Call-style requests and discarded for Send.
+// Handlers run on delivery goroutines and may block; slow handlers delay
+// later deliveries to the same node only if they share a link.
+type Handler func(from string, msg any) any
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	// Latency is the one-way delay; Jitter adds a uniform random extra in
+	// [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// Loss is the probability in [0,1) that a message silently disappears.
+	Loss float64
+	// Down cuts the link: sends fail fast with ErrUnreachable, modelling a
+	// broken TCP connection or a network partition.
+	Down bool
+}
+
+// Config configures a Network.
+type Config struct {
+	// Default is the link configuration used for pairs without an override.
+	Default LinkConfig
+	// Scale multiplies every latency; 0 means 1.0 (real time). Experiments
+	// use e.g. 0.1 to run 10× faster than the modelled network.
+	Scale float64
+	// Seed seeds the jitter/loss random source; 0 picks the current time.
+	Seed int64
+}
+
+// Network is a simulated network of named nodes.
+type Network struct {
+	scale float64
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	closed   bool
+	nodes    map[string]*Node
+	defaults LinkConfig
+	links    map[[2]string]*link
+
+	wg sync.WaitGroup
+
+	sent      atomic.Int64
+	delivered atomic.Int64
+}
+
+// link tracks the per-directed-pair state needed for FIFO delivery. Each
+// link with traffic has a single worker goroutine draining its queue in
+// order, so delivery order always matches send order.
+type link struct {
+	cfg LinkConfig
+	// lastAt is the delivery deadline of the most recent message, so a
+	// faster later message cannot overtake a slower earlier one.
+	lastAt  time.Time
+	queue   []delivery
+	running bool
+}
+
+// delivery is one queued message on a link.
+type delivery struct {
+	at time.Time
+	fn func()
+}
+
+// Node is one endpoint of the network.
+type Node struct {
+	name    string
+	net     *Network
+	handler Handler
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan any
+}
+
+// callMsg and replyMsg are internal envelopes for Call.
+type (
+	callMsg struct {
+		id      uint64
+		payload any
+	}
+	replyMsg struct {
+		id      uint64
+		payload any
+	}
+)
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Network{
+		scale:    scale,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[string]*Node),
+		defaults: cfg.Default,
+		links:    make(map[[2]string]*link),
+	}
+}
+
+// AddNode registers a node with its message handler and returns its handle.
+// Adding a duplicate name replaces the previous handler (useful for node
+// restarts in fault tests).
+func (n *Network) AddNode(name string, h Handler) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := &Node{name: name, net: n, handler: h, pending: make(map[uint64]chan any)}
+	n.nodes[name] = node
+	return node
+}
+
+// RemoveNode unregisters a node; in-flight messages to it are dropped.
+func (n *Network) RemoveNode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, name)
+}
+
+// SetLink overrides the configuration of the directed link from → to.
+func (n *Network) SetLink(from, to string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]string{from, to}
+	l := n.links[key]
+	if l == nil {
+		l = &link{}
+		n.links[key] = l
+	}
+	l.cfg = cfg
+}
+
+// SetBidirectional overrides both directions between a and b.
+func (n *Network) SetBidirectional(a, b string, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+// Partition cuts both directions between a and b.
+func (n *Network) Partition(a, b string) { n.setDown(a, b, true) }
+
+// Heal restores both directions between a and b.
+func (n *Network) Heal(a, b string) { n.setDown(a, b, false) }
+
+func (n *Network) setDown(a, b string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		l := n.links[key]
+		if l == nil {
+			l = &link{cfg: n.defaults}
+			n.links[key] = l
+		}
+		l.cfg.Down = down
+	}
+}
+
+// Isolate cuts every link to and from the node (node failure / going
+// offline).
+func (n *Network) Isolate(name string) { n.setIsolated(name, true) }
+
+// Rejoin restores every link to and from the node.
+func (n *Network) Rejoin(name string) { n.setIsolated(name, false) }
+
+func (n *Network) setIsolated(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if other == name {
+			continue
+		}
+		for _, key := range [][2]string{{name, other}, {other, name}} {
+			l := n.links[key]
+			if l == nil {
+				l = &link{cfg: n.defaults}
+				n.links[key] = l
+			}
+			l.cfg.Down = down
+		}
+	}
+}
+
+// Close shuts the network down and waits for in-flight deliveries.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Stats returns the total messages sent and delivered so far.
+func (n *Network) Stats() (sent, delivered int64) {
+	return n.sent.Load(), n.delivered.Load()
+}
+
+// schedule computes the delivery deadline for one message on from→to and
+// enqueues the delivery, or returns an error for down links; lost messages
+// return errLostInternal so Call can fail fast while Send stays silent.
+var errLostInternal = errors.New("simnet: lost (internal)")
+
+func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	cfg := n.defaults
+	if l := n.links[[2]string{from, to}]; l != nil {
+		cfg = l.cfg
+	}
+	if cfg.Down {
+		n.mu.Unlock()
+		return ErrUnreachable
+	}
+	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
+		n.mu.Unlock()
+		n.sent.Add(1)
+		return errLostInternal
+	}
+	delay := cfg.Latency
+	if cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+	}
+	delay = time.Duration(float64(delay) * n.scale)
+
+	// FIFO: never deliver before the previous message on this link.
+	key := [2]string{from, to}
+	l := n.links[key]
+	if l == nil {
+		l = &link{cfg: cfg}
+		n.links[key] = l
+	}
+	deliverAt := time.Now().Add(delay)
+	if deliverAt.Before(l.lastAt) {
+		deliverAt = l.lastAt
+	}
+	l.lastAt = deliverAt
+	n.sent.Add(1)
+	l.queue = append(l.queue, delivery{at: deliverAt, fn: func() {
+		n.mu.Lock()
+		cur := n.nodes[to]
+		n.mu.Unlock()
+		if cur != dst {
+			return
+		}
+		n.delivered.Add(1)
+		deliver(dst)
+	}})
+	if !l.running {
+		l.running = true
+		n.wg.Add(1)
+		go n.runLink(l)
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// runLink drains one link's queue in order, sleeping until each message's
+// delivery deadline. It exits when the queue empties or the network closes.
+func (n *Network) runLink(l *link) {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		if n.closed || len(l.queue) == 0 {
+			l.running = false
+			n.mu.Unlock()
+			return
+		}
+		d := l.queue[0]
+		l.queue = l.queue[1:]
+		n.mu.Unlock()
+		if wait := time.Until(d.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.fn()
+	}
+}
+
+// Name returns the node's registered name.
+func (nd *Node) Name() string { return nd.name }
+
+// Send delivers msg to the handler of node to, asynchronously. A lost
+// message is silent (nil error), matching datagram semantics; a down link
+// fails fast.
+func (nd *Node) Send(to string, msg any) error {
+	err := nd.net.schedule(nd.name, to, func(dst *Node) {
+		dst.dispatch(nd.name, msg)
+	})
+	if errors.Is(err, errLostInternal) {
+		return nil
+	}
+	return err
+}
+
+// Call sends msg to node to and waits for its handler's return value, a
+// response timeout, or ctx cancellation. Message loss on either direction
+// surfaces as ctx timeout.
+func (nd *Node) Call(ctx context.Context, to string, msg any) (any, error) {
+	nd.mu.Lock()
+	nd.nextID++
+	id := nd.nextID
+	ch := make(chan any, 1)
+	nd.pending[id] = ch
+	nd.mu.Unlock()
+	defer func() {
+		nd.mu.Lock()
+		delete(nd.pending, id)
+		nd.mu.Unlock()
+	}()
+
+	err := nd.net.schedule(nd.name, to, func(dst *Node) {
+		dst.dispatch(nd.name, callMsg{id: id, payload: msg})
+	})
+	if err != nil && !errors.Is(err, errLostInternal) {
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dispatch routes an incoming envelope.
+func (nd *Node) dispatch(from string, msg any) {
+	switch m := msg.(type) {
+	case callMsg:
+		reply := nd.invoke(from, m.payload)
+		// Best effort: the reply takes the reverse link; loss or partition
+		// surfaces as a caller timeout.
+		_ = nd.net.schedule(nd.name, from, func(dst *Node) {
+			dst.dispatch(nd.name, replyMsg{id: m.id, payload: reply})
+		})
+	case replyMsg:
+		nd.mu.Lock()
+		ch := nd.pending[m.id]
+		nd.mu.Unlock()
+		if ch != nil {
+			ch <- m.payload
+		}
+	default:
+		nd.invoke(from, msg)
+	}
+}
+
+// invoke runs the handler, tolerating nodes registered without one.
+func (nd *Node) invoke(from string, payload any) any {
+	if nd.handler == nil {
+		return nil
+	}
+	return nd.handler(from, payload)
+}

@@ -1,0 +1,331 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendDelivers(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	got := make(chan string, 1)
+	net.AddNode("b", func(from string, msg any) any {
+		got <- from + ":" + msg.(string)
+		return nil
+	})
+	a := net.AddNode("a", nil)
+	if err := a.Send("b", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "a:hello" {
+			t.Fatalf("delivered %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	net.AddNode("server", func(_ string, msg any) any {
+		return msg.(int) * 2
+	})
+	client := net.AddNode("client", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	v, err := client.Call(ctx, "server", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("reply = %v", v)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Latency: 30 * time.Millisecond}})
+	defer net.Close()
+
+	net.AddNode("server", func(_ string, msg any) any { return msg })
+	client := net.AddNode("client", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Call(ctx, "server", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 60*time.Millisecond {
+		t.Fatalf("RTT %v shorter than two one-way latencies", rtt)
+	}
+	if rtt > 500*time.Millisecond {
+		t.Fatalf("RTT %v implausibly long", rtt)
+	}
+}
+
+func TestScaleShrinksLatency(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Latency: 100 * time.Millisecond}, Scale: 0.1})
+	defer net.Close()
+
+	net.AddNode("server", func(_ string, msg any) any { return msg })
+	client := net.AddNode("client", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := client.Call(ctx, "server", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt > 150*time.Millisecond {
+		t.Fatalf("scaled RTT = %v, want ~20ms", rtt)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	// With jitter, later messages could sample shorter delays; FIFO must
+	// still hold per link.
+	net := New(Config{Default: LinkConfig{Latency: time.Millisecond, Jitter: 5 * time.Millisecond}, Seed: 42})
+	defer net.Close()
+
+	var (
+		mu  sync.Mutex
+		seq []int
+	)
+	done := make(chan struct{})
+	const total = 50
+	net.AddNode("b", func(_ string, msg any) any {
+		mu.Lock()
+		seq = append(seq, msg.(int))
+		if len(seq) == total {
+			close(done)
+		}
+		mu.Unlock()
+		return nil
+	})
+	a := net.AddNode("a", nil)
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all messages delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, seq)
+		}
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	net.AddNode("b", func(_ string, msg any) any { return msg })
+	a := net.AddNode("a", nil)
+
+	net.Partition("a", "b")
+	if err := a.Send("b", "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send over partition = %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call over partition = %v", err)
+	}
+
+	net.Heal("a", "b")
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := a.Call(ctx2, "b", "x"); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestIsolateAndRejoin(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	net.AddNode("hub", func(_ string, msg any) any { return msg })
+	a := net.AddNode("a", nil)
+	b := net.AddNode("b", nil)
+
+	net.Isolate("hub")
+	if err := a.Send("hub", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("a->hub = %v", err)
+	}
+	if err := b.Send("hub", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("b->hub = %v", err)
+	}
+	// a and b still talk to each other.
+	if err := a.Send("b", 1); err != nil {
+		t.Fatalf("a->b = %v", err)
+	}
+
+	net.Rejoin("hub")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "hub", 1); err != nil {
+		t.Fatalf("after rejoin: %v", err)
+	}
+}
+
+func TestLossySendIsSilent(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Loss: 1.0}, Seed: 7})
+	defer net.Close()
+
+	delivered := make(chan struct{}, 1)
+	net.AddNode("b", func(_ string, _ any) any {
+		delivered <- struct{}{}
+		return nil
+	})
+	a := net.AddNode("a", nil)
+	if err := a.Send("b", "x"); err != nil {
+		t.Fatalf("lossy send should be silent, got %v", err)
+	}
+	select {
+	case <-delivered:
+		t.Fatal("message should have been lost")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCallTimesOutOnLoss(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Loss: 1.0}, Seed: 7})
+	defer net.Close()
+
+	net.AddNode("b", func(_ string, msg any) any { return msg })
+	a := net.AddNode("a", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "x"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call = %v, want deadline exceeded", err)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	a := net.AddNode("a", nil)
+	if err := a.Send("ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("send to ghost = %v", err)
+	}
+}
+
+func TestClosedNetworkRejectsSends(t *testing.T) {
+	net := New(Config{})
+	net.AddNode("b", nil)
+	a := net.AddNode("a", nil)
+	net.Close()
+	if err := a.Send("b", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v", err)
+	}
+}
+
+func TestRemoveNodeDropsInFlight(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Latency: 50 * time.Millisecond}})
+	defer net.Close()
+
+	delivered := make(chan struct{}, 1)
+	net.AddNode("b", func(_ string, _ any) any {
+		delivered <- struct{}{}
+		return nil
+	})
+	a := net.AddNode("a", nil)
+	if err := a.Send("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveNode("b")
+	select {
+	case <-delivered:
+		t.Fatal("message delivered to removed node")
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestStats(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	done := make(chan struct{}, 3)
+	net.AddNode("b", func(_ string, _ any) any {
+		done <- struct{}{}
+		return nil
+	})
+	a := net.AddNode("a", nil)
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("delivery timeout")
+		}
+	}
+	sent, delivered := net.Stats()
+	if sent != 3 || delivered != 3 {
+		t.Fatalf("stats = %d/%d, want 3/3", sent, delivered)
+	}
+}
+
+func TestJitterVariesDelivery(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Latency: time.Millisecond, Jitter: 20 * time.Millisecond}, Seed: 3})
+	defer net.Close()
+	net.AddNode("server", func(_ string, msg any) any { return msg })
+	client := net.AddNode("client", nil)
+	var rtts []time.Duration
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		start := time.Now()
+		if _, err := client.Call(ctx, "server", i); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+		rtts = append(rtts, time.Since(start))
+	}
+	min, max := rtts[0], rtts[0]
+	for _, r := range rtts {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max-min < 2*time.Millisecond {
+		t.Fatalf("jitter had no visible effect: min=%v max=%v", min, max)
+	}
+}
+
+func TestSetLinkOverridesDefault(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Latency: 50 * time.Millisecond}})
+	defer net.Close()
+	net.AddNode("b", func(_ string, msg any) any { return msg })
+	a := net.AddNode("a", nil)
+	// Override just this pair to be fast.
+	net.SetBidirectional("a", "b", LinkConfig{Latency: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := a.Call(ctx, "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt > 30*time.Millisecond {
+		t.Fatalf("override ignored: rtt=%v", rtt)
+	}
+}

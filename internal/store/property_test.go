@@ -1,0 +1,239 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// TestStoresConvergeUnderReordering: two stores apply the same transaction
+// set in different arrival orders (within causal constraints — concurrent
+// transactions may arrive in any order) and must materialise identical
+// values at the full cut. Strong Convergence, at the store level.
+func TestStoresConvergeUnderReordering(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build transactions from 3 "DCs", each a causal chain; chains are
+		// mutually concurrent. Updates hit 2 objects with counters and sets.
+		objs := []txn.ObjectID{{Bucket: "b", Key: "x"}, {Bucket: "b", Key: "y"}}
+		var txs []*txn.Transaction
+		full := vclock.NewVector(3)
+		for dc := 0; dc < 3; dc++ {
+			snap := vclock.NewVector(3)
+			for k := 0; k < 3; k++ {
+				ts := uint64(k + 1)
+				tr := &txn.Transaction{
+					Dot:      vclock.Dot{Node: fmt.Sprintf("dc%d", dc), Seq: ts},
+					Origin:   fmt.Sprintf("dc%d", dc),
+					Snapshot: snap.Clone(),
+					Commit:   vclock.CommitStamps{dc: ts},
+				}
+				// Object x is a counter, y a set (kinds are per-object).
+				if r.Intn(2) == 0 {
+					tr.AppendUpdate(objs[0], crdt.KindCounter,
+						crdt.Op{Counter: &crdt.CounterOp{Delta: int64(r.Intn(5) + 1)}})
+				} else {
+					tr.AppendUpdate(objs[1], crdt.KindORSet,
+						crdt.Op{Set: &crdt.ORSetOp{Elem: fmt.Sprintf("e%d", r.Intn(4))}})
+				}
+				txs = append(txs, tr)
+				snap = snap.Set(dc, ts)
+				full = full.Set(dc, ts)
+			}
+		}
+		// Order A: round-robin across chains. Order B: random interleaving
+		// that preserves per-chain order (causality).
+		orderA := roundRobin(txs)
+		orderB := randomInterleave(txs, r)
+
+		s1, s2 := New("r1"), New("r2")
+		for _, tr := range orderA {
+			if err := s1.Apply(tr.Clone()); err != nil {
+				return false
+			}
+		}
+		for _, tr := range orderB {
+			if err := s2.Apply(tr.Clone()); err != nil {
+				return false
+			}
+		}
+		for _, id := range objs {
+			v1, err1 := s1.Value(id, full, ReadOptions{})
+			v2, err2 := s2.Value(id, full, ReadOptions{})
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				continue // neither store saw the object
+			}
+			if !reflect.DeepEqual(v1, v2) {
+				t.Logf("diverged on %v: %v vs %v", id, v1, v2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// roundRobin interleaves the per-DC chains one element at a time. txs are
+// grouped by origin in generation order (3 per chain).
+func roundRobin(txs []*txn.Transaction) []*txn.Transaction {
+	byOrigin := make(map[string][]*txn.Transaction)
+	var origins []string
+	for _, tr := range txs {
+		if len(byOrigin[tr.Origin]) == 0 {
+			origins = append(origins, tr.Origin)
+		}
+		byOrigin[tr.Origin] = append(byOrigin[tr.Origin], tr)
+	}
+	var out []*txn.Transaction
+	for k := 0; ; k++ {
+		progress := false
+		for _, o := range origins {
+			if k < len(byOrigin[o]) {
+				out = append(out, byOrigin[o][k])
+				progress = true
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// randomInterleave picks randomly among the chain heads, preserving
+// per-chain order.
+func randomInterleave(txs []*txn.Transaction, r *rand.Rand) []*txn.Transaction {
+	byOrigin := make(map[string][]*txn.Transaction)
+	var origins []string
+	for _, tr := range txs {
+		if len(byOrigin[tr.Origin]) == 0 {
+			origins = append(origins, tr.Origin)
+		}
+		byOrigin[tr.Origin] = append(byOrigin[tr.Origin], tr)
+	}
+	var out []*txn.Transaction
+	for len(out) < len(txs) {
+		o := origins[r.Intn(len(origins))]
+		if len(byOrigin[o]) > 0 {
+			out = append(out, byOrigin[o][0])
+			byOrigin[o] = byOrigin[o][1:]
+		}
+	}
+	return out
+}
+
+// TestSeedThenReplayEquivalence: seeding an object at a cut and replaying
+// the remaining transactions gives the same value as applying everything
+// from scratch — the invariant behind cache warm-up and recovery.
+func TestSeedThenReplayEquivalence(t *testing.T) {
+	id := txn.ObjectID{Bucket: "b", Key: "x"}
+	mk := func(dc int, ts uint64, delta int64) *txn.Transaction {
+		tr := &txn.Transaction{
+			Dot:      vclock.Dot{Node: fmt.Sprintf("dc%d", dc), Seq: ts},
+			Origin:   fmt.Sprintf("dc%d", dc),
+			Snapshot: vclock.NewVector(2),
+			Commit:   vclock.CommitStamps{dc: ts},
+		}
+		tr.AppendUpdate(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: delta}})
+		return tr
+	}
+	txs := []*txn.Transaction{mk(0, 1, 1), mk(1, 1, 2), mk(0, 2, 4), mk(1, 2, 8)}
+
+	// Reference: everything applied from scratch.
+	ref := New("ref")
+	for _, tr := range txs {
+		if err := ref.Apply(tr.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := vclock.Vector{2, 2}
+	want, err := ref.Value(id, full, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cache: seed at cut [1,1], then replay everything (the recovery paths
+	// replay generously; the store must dedupe against the seed).
+	cut := vclock.Vector{1, 1}
+	base, err := ref.Read(id, cut, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := New("cache")
+	cache.SetCacheMode(true)
+	cache.Seed(id, base, cut)
+	for _, tr := range txs {
+		_ = cache.Apply(tr.Clone()) // duplicates of the seed must be skipped
+	}
+	got, err := cache.Value(id, full, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("seed+replay = %v, from-scratch = %v", got, want)
+	}
+}
+
+// TestCacheModeSkipsForeignCreation: in cache mode, a remote transaction
+// must not conjure an object out of nothing — but the update re-attaches
+// when the object is seeded later.
+func TestCacheModeSkipsForeignCreation(t *testing.T) {
+	id := txn.ObjectID{Bucket: "b", Key: "x"}
+	tr := &txn.Transaction{
+		Dot:      vclock.Dot{Node: "dc0", Seq: 1},
+		Origin:   "dc0",
+		Snapshot: vclock.NewVector(1),
+		Commit:   vclock.CommitStamps{0: 5},
+	}
+	tr.AppendUpdate(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 7}})
+
+	s := New("edge")
+	s.SetCacheMode(true)
+	if err := s.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(id) {
+		t.Fatal("cache created an object from a foreign journal entry")
+	}
+	// Seeding below the tx's cut re-attaches the skipped update.
+	s.Seed(id, crdt.NewCounter(), vclock.Vector{2})
+	v, err := s.Value(id, vclock.Vector{5}, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 7 {
+		t.Fatalf("reattached value = %v", v)
+	}
+	// Seeding at/above the cut must NOT re-apply (the effect is in the base).
+	s2 := New("edge2")
+	s2.SetCacheMode(true)
+	if err := s2.Apply(tr.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	base := crdt.NewCounter()
+	_ = base.Apply(crdt.Meta{Dot: tr.Dot}, crdt.Op{Counter: &crdt.CounterOp{Delta: 7}})
+	s2.Seed(id, base, vclock.Vector{5})
+	v2, err := s2.Value(id, vclock.Vector{5}, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(int64) != 7 {
+		t.Fatalf("double apply after covered seed: %v", v2)
+	}
+}

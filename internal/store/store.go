@@ -1,0 +1,417 @@
+// Package store implements Colony's versioned object store (paper §4.1).
+//
+// An object is kept as a *base version* — a materialised CRDT state at some
+// causal cut — plus a *journal* of committed updates since the base. Reading
+// an object at an arbitrary snapshot vector clones the base and replays the
+// journal entries visible at that vector. The system occasionally advances
+// the base to truncate the journal.
+//
+// The store is the *backend* layer of Colony's state/visibility split: it
+// accepts and stores transactions without regard for correctness; the
+// *visibility* layer above (replication, edge, group) only hands it read
+// vectors that already satisfy the TCC+ invariants.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNotFound reports a read of an object with no state at this replica.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrDuplicate reports an Apply of a transaction whose dot was already
+	// applied; callers normally treat it as a no-op signal.
+	ErrDuplicate = errors.New("store: duplicate transaction")
+	// ErrUnknownTx reports a Promote of a transaction this store never saw.
+	ErrUnknownTx = errors.New("store: unknown transaction")
+)
+
+// entry is one journal record: which transaction produced the update and the
+// update's index within it (the pair determines the CRDT op tag).
+type entry struct {
+	tx  *txn.Transaction
+	idx int
+}
+
+// object is the stored form of one database object.
+type object struct {
+	kind    crdt.Kind
+	base    crdt.Object
+	baseVec vclock.Vector
+	// folded lists transactions whose effects are baked into the base even
+	// though they are not covered by baseVec — symbolic group transactions
+	// included in a collaborative-cache seed.
+	folded  map[vclock.Dot]bool
+	journal []entry
+}
+
+// Store is a thread-safe versioned object store for one replica.
+type Store struct {
+	mu sync.RWMutex
+	// self is the owning node's identifier; transactions originated by self
+	// are always readable regardless of their commit state (Read-My-Writes).
+	self    string
+	objects map[txn.ObjectID]*object
+	txs     map[vclock.Dot]*txn.Transaction
+	// cacheMode marks a partial replica (an edge cache): applying a remote
+	// transaction must not create objects the cache has no base state for —
+	// a journal on top of a missing base would materialise wrong values.
+	// Skipped updates are re-covered by the seed when the object is pulled
+	// into the cache (seeds are always taken at or above the skipped
+	// transaction's commit cut).
+	cacheMode bool
+}
+
+// New returns an empty store owned by node self.
+func New(self string) *Store {
+	return &Store{
+		self:    self,
+		objects: make(map[txn.ObjectID]*object),
+		txs:     make(map[vclock.Dot]*txn.Transaction),
+	}
+}
+
+// SetCacheMode marks the store as a partial replica (edge cache); see the
+// cacheMode field for the semantics. Must be called before use.
+func (s *Store) SetCacheMode(on bool) { s.cacheMode = on }
+
+// Apply appends the transaction's updates to the journals of the objects it
+// touches. It returns ErrDuplicate (after doing nothing) when the dot was
+// already applied — the dot filter that makes migration-induced re-delivery
+// safe (paper §3.8).
+//
+// Two classes of update are skipped (per object, without failing the whole
+// transaction): updates to objects a cache-mode store does not hold (unless
+// the store's own node originated the transaction), and updates already
+// folded into the object's base version (the transaction is visible at the
+// base vector) — which happens when a freshly seeded base already contains
+// an update that is later replayed by a recovery path.
+func (s *Store) Apply(t *txn.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, dup := s.txs[t.Dot]; dup {
+		// Absorb any commit stamps the re-delivery carries: a replica that
+		// missed the promotion broadcast still learns the concrete commit
+		// when the transaction comes back around via another path.
+		for dc, ts := range t.Commit {
+			if stamps, err := prev.Commit.Add(dc, ts); err == nil {
+				prev.Commit = stamps
+			}
+		}
+		return ErrDuplicate
+	}
+	for i, u := range t.Updates {
+		obj := s.objects[u.Object]
+		if obj == nil {
+			if s.cacheMode && t.Origin != s.self {
+				continue
+			}
+			base, err := crdt.New(u.Kind)
+			if err != nil {
+				return fmt.Errorf("apply %s: %w", t.Dot, err)
+			}
+			obj = &object{kind: u.Kind, base: base}
+			s.objects[u.Object] = obj
+			// Updates from earlier transactions that were skipped while the
+			// object did not exist re-attach now (t itself is not yet in
+			// s.txs, so its own updates are not double-counted).
+			s.reattachLocked(u.Object, obj)
+		}
+		if obj.kind != u.Kind {
+			return fmt.Errorf("apply %s: object %s is %v, update is %v: %w",
+				t.Dot, u.Object, obj.kind, u.Kind, crdt.ErrKindMismatch)
+		}
+		if len(obj.baseVec) > 0 && t.VisibleAt(obj.baseVec) {
+			continue // already folded into the base version
+		}
+		if obj.folded[t.Dot] {
+			continue // folded into the base as a group-visible transaction
+		}
+		obj.journal = append(obj.journal, entry{tx: t, idx: i})
+	}
+	s.txs[t.Dot] = t
+	return nil
+}
+
+// Promote records that DC dc accepted transaction dot at timestamp ts,
+// turning a symbolic commit concrete (or adding an equivalent commit vector).
+func (s *Store) Promote(dot vclock.Dot, dc int, ts uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txs[dot]
+	if !ok {
+		return fmt.Errorf("promote %s: %w", dot, ErrUnknownTx)
+	}
+	stamps, err := t.Commit.Add(dc, ts)
+	if err != nil {
+		return err
+	}
+	t.Commit = stamps
+	return nil
+}
+
+// ResolveSnapshot joins extra into the stored transaction's snapshot and
+// returns an independent clone suitable for sending. Edge nodes use it just
+// before shipping a locally committed transaction to the DC: the symbolic
+// dependencies on earlier local transactions resolve to the concrete commit
+// vectors those transactions have been assigned meanwhile (paper §3.7).
+// Going through the store keeps the mutation ordered with concurrent reads.
+func (s *Store) ResolveSnapshot(dot vclock.Dot, extra vclock.Vector) (*txn.Transaction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txs[dot]
+	if !ok {
+		return nil, fmt.Errorf("resolve %s: %w", dot, ErrUnknownTx)
+	}
+	t.Snapshot = t.Snapshot.Join(extra)
+	return t.Clone(), nil
+}
+
+// Transaction returns a snapshot (deep copy) of the stored transaction with
+// the given dot, if any. A copy is returned because the canonical record's
+// commit stamps keep evolving under the store lock.
+func (s *Store) Transaction(dot vclock.Dot) (*txn.Transaction, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.txs[dot]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// Contains reports whether the store has applied the transaction dot.
+func (s *Store) Contains(dot vclock.Dot) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.txs[dot]
+	return ok
+}
+
+// Has reports whether the store holds any state for the object.
+func (s *Store) Has(id txn.ObjectID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// ReadOptions tune a materialising read.
+type ReadOptions struct {
+	// ExtraVisible admits journal entries from these specific transactions
+	// even when the snapshot vector does not cover them. Peer groups use it
+	// to expose the EPaxos visibility log (paper §5.1.4).
+	ExtraVisible map[vclock.Dot]bool
+	// SelfVisible controls the Read-My-Writes guarantee: when true (the
+	// usual setting for edge nodes), transactions originated by this store's
+	// node are always visible.
+	SelfVisible bool
+	// Reject masks journal entries whose transaction fails the predicate —
+	// the read-time half of ACL enforcement (paper §6.4: "object versions
+	// are visible according to the local copy of the ACL"). The predicate
+	// must not call back into the store.
+	Reject func(*txn.Transaction) bool
+}
+
+// Read materialises the object at the causal cut at. Entries are replayed in
+// journal (arrival) order, which respects causality because the visibility
+// layer delivers transactions causally; concurrent entries commute by CRDT
+// construction. Returns ErrNotFound for unknown objects.
+func (s *Store) Read(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (crdt.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+	}
+	out := obj.base.Clone()
+	for _, e := range obj.journal {
+		if !s.entryVisible(e, at, opts) {
+			continue
+		}
+		if err := out.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+			return nil, fmt.Errorf("read %s: replay %s: %w", id, e.tx.Dot, err)
+		}
+	}
+	return out, nil
+}
+
+// Value is Read followed by Object.Value.
+func (s *Store) Value(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (any, error) {
+	obj, err := s.Read(id, at, opts)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Value(), nil
+}
+
+// entryVisible implements the visibility predicate for one journal entry.
+func (s *Store) entryVisible(e entry, at vclock.Vector, opts ReadOptions) bool {
+	if opts.Reject != nil && opts.Reject(e.tx) {
+		return false
+	}
+	if opts.SelfVisible && e.tx.Origin == s.self {
+		return true
+	}
+	if opts.ExtraVisible[e.tx.Dot] {
+		return true
+	}
+	return e.tx.VisibleAt(at)
+}
+
+// Seed installs a pre-materialised base version for an object, replacing any
+// existing state. Edge nodes use it when pulling an object into their
+// interest set from the connected DC or a peer (paper §4.2). folded lists
+// transactions baked into base beyond the cut at (group-visible transactions
+// without a concrete commit yet); their re-delivery is skipped for this
+// object.
+func (s *Store) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded ...vclock.Dot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := &object{kind: base.Kind(), base: base.Clone(), baseVec: at.Clone()}
+	if len(folded) > 0 {
+		obj.folded = make(map[vclock.Dot]bool, len(folded))
+		for _, d := range folded {
+			obj.folded[d] = true
+		}
+	}
+	s.objects[id] = obj
+	s.reattachLocked(id, obj)
+}
+
+// reattachLocked replays updates for id from already-recorded transactions
+// whose update was skipped when the cache did not hold the object (Apply
+// keeps the full transaction either way). Entries are ordered by dot, which
+// is consistent with causality because nodes witness every dot they apply.
+func (s *Store) reattachLocked(id txn.ObjectID, obj *object) {
+	type pending struct {
+		t   *txn.Transaction
+		idx int
+	}
+	var todo []pending
+	for _, t := range s.txs {
+		if t.VisibleAt(obj.baseVec) || obj.folded[t.Dot] {
+			continue
+		}
+		for i, u := range t.Updates {
+			if u.Object == id && u.Kind == obj.kind {
+				todo = append(todo, pending{t: t, idx: i})
+			}
+		}
+	}
+	sort.Slice(todo, func(i, j int) bool {
+		if c := todo[i].t.Dot.Compare(todo[j].t.Dot); c != 0 {
+			return c < 0
+		}
+		return todo[i].idx < todo[j].idx
+	})
+	for _, p := range todo {
+		obj.journal = append(obj.journal, entry{tx: p.t, idx: p.idx})
+	}
+}
+
+// BaseVector returns the causal cut of the object's base version.
+func (s *Store) BaseVector(id txn.ObjectID) (vclock.Vector, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return obj.baseVec.Clone(), true
+}
+
+// Advance folds every journal entry visible at cut into each object's base
+// version and truncates the journals (paper §4.1: "occasionally, the system
+// advances the base version"). Transactions whose every update was folded
+// everywhere they appear are released from the dot index only if keepDots is
+// false; keeping dots preserves duplicate filtering across migration at the
+// cost of memory.
+func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	folded := make(map[vclock.Dot]bool)
+	for id, obj := range s.objects {
+		kept := obj.journal[:0]
+		for _, e := range obj.journal {
+			if e.tx.VisibleAt(cut) {
+				if err := obj.base.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+					return fmt.Errorf("advance %s: %w", id, err)
+				}
+				folded[e.tx.Dot] = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		obj.journal = kept
+		obj.baseVec = obj.baseVec.Join(cut)
+	}
+	if !keepDots {
+		for dot := range folded {
+			delete(s.txs, dot)
+		}
+	}
+	return nil
+}
+
+// Evict drops the object's state entirely (cache eviction at an edge node).
+func (s *Store) Evict(id txn.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, id)
+}
+
+// Objects returns the ids of every stored object, in unspecified order.
+func (s *Store) Objects() []txn.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]txn.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		out = append(out, id)
+	}
+	return out
+}
+
+// JournalLen returns the number of pending journal entries for an object;
+// zero for unknown objects. Exposed for tests and cache accounting.
+func (s *Store) JournalLen(id txn.ObjectID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return 0
+	}
+	return len(obj.journal)
+}
+
+// DebugJournal lists each journal entry of an object as "dot@commit(snap)"
+// plus the recorded transaction dots — test diagnostics only.
+func (s *Store) DebugJournal(id txn.ObjectID) (entries []string, txs []string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if obj, ok := s.objects[id]; ok {
+		for _, e := range obj.journal {
+			entries = append(entries, fmt.Sprintf("%s@%v(snap %v)", e.tx.Dot, e.tx.Commit, e.tx.Snapshot))
+		}
+	}
+	for dot, t := range s.txs {
+		txs = append(txs, fmt.Sprintf("%s@%v", dot, t.Commit))
+	}
+	return entries, txs
+}
+
+// TxCount returns the number of transactions tracked for duplicate
+// filtering.
+func (s *Store) TxCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.txs)
+}

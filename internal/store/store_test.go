@@ -1,0 +1,274 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+var counterID = txn.ObjectID{Bucket: "b", Key: "x"}
+
+// incTx builds a committed counter-increment transaction: origin node,
+// per-node sequence, snapshot, accepting DC and its timestamp.
+func incTx(node string, seq uint64, snap vclock.Vector, dc int, ts uint64, delta int64) *txn.Transaction {
+	t := &txn.Transaction{
+		Dot:      vclock.Dot{Node: node, Seq: seq},
+		Origin:   node,
+		Snapshot: snap.Clone(),
+		Updates: []txn.Update{{
+			Object: counterID,
+			Kind:   crdt.KindCounter,
+			Op:     crdt.Op{Counter: &crdt.CounterOp{Delta: delta}},
+		}},
+	}
+	if ts > 0 {
+		t.Commit = vclock.CommitStamps{dc: ts}
+	}
+	return t
+}
+
+func readCounter(t *testing.T, s *Store, at vclock.Vector, opts ReadOptions) int64 {
+	t.Helper()
+	v, err := s.Value(counterID, at, opts)
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	return v.(int64)
+}
+
+func TestApplyAndRead(t *testing.T) {
+	s := New("dc0")
+	// The Figure 2 scenario: T0 commits at DC0 ([1,0,0]), T1 at DC1
+	// ([0,1,0]); DC2 observes both and reads 2 at the LUB [1,1,0].
+	t0 := incTx("dc0", 1, vclock.Vector{0, 0, 0}, 0, 1, 1)
+	t1 := incTx("dc1", 1, vclock.Vector{0, 0, 0}, 1, 1, 1)
+	if err := s.Apply(t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(t1); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   vclock.Vector
+		want int64
+	}{
+		{vclock.Vector{0, 0, 0}, 0},
+		{vclock.Vector{1, 0, 0}, 1},
+		{vclock.Vector{0, 1, 0}, 1},
+		{vclock.Vector{1, 1, 0}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprint(tt.at), func(t *testing.T) {
+			if got := readCounter(t, s, tt.at, ReadOptions{}); got != tt.want {
+				t.Errorf("value at %v = %d, want %d", tt.at, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateDotRejected(t *testing.T) {
+	s := New("dc0")
+	t0 := incTx("edgeA", 1, vclock.Vector{0}, 0, 1, 1)
+	if err := s.Apply(t0); err != nil {
+		t.Fatal(err)
+	}
+	// A migrated edge node may re-send the same transaction via another DC.
+	if err := s.Apply(t0.Clone()); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("re-apply err = %v, want ErrDuplicate", err)
+	}
+	if got := readCounter(t, s, vclock.Vector{1}, ReadOptions{}); got != 1 {
+		t.Fatalf("duplicate applied twice: value = %d", got)
+	}
+}
+
+func TestReadMyWrites(t *testing.T) {
+	s := New("edgeA")
+	// Symbolic local transaction: no DC commit yet.
+	local := incTx("edgeA", 1, vclock.Vector{0}, 0, 0, 1)
+	if err := s.Apply(local); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible to a plain read at any vector...
+	if got := readCounter(t, s, vclock.Vector{9, 9}, ReadOptions{}); got != 0 {
+		t.Fatalf("symbolic tx leaked: %d", got)
+	}
+	// ...but always visible to its origin.
+	if got := readCounter(t, s, vclock.Vector{0}, ReadOptions{SelfVisible: true}); got != 1 {
+		t.Fatalf("read-my-writes broken: %d", got)
+	}
+	// Another node's store does not treat it as self.
+	other := New("edgeB")
+	if err := other.Apply(local.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCounter(t, other, vclock.Vector{0}, ReadOptions{SelfVisible: true}); got != 0 {
+		t.Fatalf("foreign symbolic tx visible: %d", got)
+	}
+}
+
+func TestPromoteMakesVisible(t *testing.T) {
+	s := New("edgeA")
+	local := incTx("edgeA", 1, vclock.Vector{0, 0}, 0, 0, 1)
+	if err := s.Apply(local); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(local.Dot, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCounter(t, s, vclock.Vector{1, 0}, ReadOptions{}); got != 1 {
+		t.Fatalf("promoted tx not visible: %d", got)
+	}
+	// Equivalent commit vector from a second DC after migration.
+	if err := s.Promote(local.Dot, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCounter(t, s, vclock.Vector{0, 4}, ReadOptions{}); got != 1 {
+		t.Fatalf("equivalent commit vector not honoured: %d", got)
+	}
+	if err := s.Promote(vclock.Dot{Node: "ghost", Seq: 1}, 0, 1); !errors.Is(err, ErrUnknownTx) {
+		t.Fatalf("promote unknown = %v", err)
+	}
+}
+
+func TestExtraVisible(t *testing.T) {
+	s := New("peer1")
+	remote := incTx("peer2", 1, vclock.Vector{0}, 0, 0, 5)
+	if err := s.Apply(remote); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible by vector, visible through the group visibility log.
+	if got := readCounter(t, s, vclock.Vector{0}, ReadOptions{}); got != 0 {
+		t.Fatalf("unexpected visibility: %d", got)
+	}
+	opts := ReadOptions{ExtraVisible: map[vclock.Dot]bool{remote.Dot: true}}
+	if got := readCounter(t, s, vclock.Vector{0}, opts); got != 5 {
+		t.Fatalf("visibility log ignored: %d", got)
+	}
+}
+
+func TestAdvanceTruncatesJournal(t *testing.T) {
+	s := New("dc0")
+	for i := uint64(1); i <= 4; i++ {
+		if err := s.Apply(incTx("dc0", i, vclock.Vector{i - 1}, 0, i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.JournalLen(counterID); got != 4 {
+		t.Fatalf("journal = %d", got)
+	}
+	if err := s.Advance(vclock.Vector{2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.JournalLen(counterID); got != 2 {
+		t.Fatalf("journal after advance = %d", got)
+	}
+	// Reads below the base now see the base (store does not time-travel
+	// before its base version), at and above stay exact.
+	if got := readCounter(t, s, vclock.Vector{2}, ReadOptions{}); got != 2 {
+		t.Fatalf("value at base = %d", got)
+	}
+	if got := readCounter(t, s, vclock.Vector{4}, ReadOptions{}); got != 4 {
+		t.Fatalf("value at head = %d", got)
+	}
+	if got := s.TxCount(); got != 2 {
+		t.Fatalf("TxCount = %d, want folded dots released", got)
+	}
+	// keepDots retains the duplicate filter.
+	s2 := New("dc0")
+	tx := incTx("edgeA", 1, vclock.Vector{0}, 0, 1, 1)
+	if err := s2.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Advance(vclock.Vector{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Apply(tx.Clone()); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dot filter lost after advance: %v", err)
+	}
+}
+
+func TestSeedAndEvict(t *testing.T) {
+	s := New("edgeA")
+	base := crdt.NewCounter()
+	if err := base.Apply(crdt.Meta{Dot: vclock.Dot{Node: "dc0", Seq: 1}}, base.PrepareIncrement(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.Seed(counterID, base, vclock.Vector{3})
+	if got := readCounter(t, s, vclock.Vector{3}, ReadOptions{}); got != 7 {
+		t.Fatalf("seeded value = %d", got)
+	}
+	if bv, ok := s.BaseVector(counterID); !ok || !bv.Equal(vclock.Vector{3}) {
+		t.Fatalf("BaseVector = %v, %v", bv, ok)
+	}
+	s.Evict(counterID)
+	if s.Has(counterID) {
+		t.Fatal("object survived eviction")
+	}
+	if _, err := s.Read(counterID, vclock.Vector{3}, ReadOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read after evict = %v", err)
+	}
+}
+
+func TestKindConflict(t *testing.T) {
+	s := New("dc0")
+	if err := s.Apply(incTx("dc0", 1, vclock.Vector{0}, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := &txn.Transaction{
+		Dot:      vclock.Dot{Node: "dc0", Seq: 2},
+		Origin:   "dc0",
+		Snapshot: vclock.Vector{1},
+		Commit:   vclock.CommitStamps{0: 2},
+		Updates: []txn.Update{{
+			Object: counterID,
+			Kind:   crdt.KindORSet,
+			Op:     crdt.Op{Set: &crdt.ORSetOp{Elem: "e"}},
+		}},
+	}
+	if err := s.Apply(bad); err == nil {
+		t.Fatal("kind conflict must error")
+	}
+}
+
+func TestMultiUpdateTransactionAtomicity(t *testing.T) {
+	s := New("dc0")
+	a := txn.ObjectID{Bucket: "b", Key: "a"}
+	b := txn.ObjectID{Bucket: "b", Key: "b"}
+	tx := &txn.Transaction{
+		Dot:      vclock.Dot{Node: "dc0", Seq: 1},
+		Origin:   "dc0",
+		Snapshot: vclock.Vector{0},
+		Commit:   vclock.CommitStamps{0: 1},
+		Updates: []txn.Update{
+			{Object: a, Kind: crdt.KindCounter, Op: crdt.Op{Counter: &crdt.CounterOp{Delta: 1}}},
+			{Object: b, Kind: crdt.KindCounter, Op: crdt.Op{Counter: &crdt.CounterOp{Delta: 2}}},
+		},
+	}
+	if err := s.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Below the commit vector neither update is visible; at it, both are.
+	for _, tt := range []struct {
+		at           vclock.Vector
+		wantA, wantB int64
+	}{
+		{vclock.Vector{0}, 0, 0},
+		{vclock.Vector{1}, 1, 2},
+	} {
+		va, err := s.Value(a, tt.at, ReadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := s.Value(b, tt.at, ReadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va.(int64) != tt.wantA || vb.(int64) != tt.wantB {
+			t.Fatalf("at %v: a=%v b=%v, want %d/%d", tt.at, va, vb, tt.wantA, tt.wantB)
+		}
+	}
+}

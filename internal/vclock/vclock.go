@@ -1,0 +1,182 @@
+// Package vclock implements the consistency metadata used throughout Colony:
+// vector timestamps with one entry per data centre, dots (unique transaction
+// identifiers that double as the arbitration order), and the compressed
+// multi-commit-vector representation used for migrated transactions
+// (paper §3.3–3.5, §3.8).
+//
+// A Vector summarises a causal cut over the DCs of the system: component i is
+// the number of (sequentially ordered) transactions committed at DC i that
+// are included in the cut. Because each DC is an SI zone and therefore
+// externally sequential, a vector of size N (the number of DCs) captures the
+// entire inter-DC happened-before order. Each component is 8 bytes, storing a
+// monotonic counter that does not wrap around.
+package vclock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Vector is a vector timestamp with one component per data centre.
+// The zero value (nil) is the empty vector, equal to all-zeroes.
+//
+// Vectors are not safe for concurrent mutation; callers that share vectors
+// across goroutines must Clone first.
+type Vector []uint64
+
+// NewVector returns an all-zero vector sized for n data centres.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Get returns component i, treating missing components as zero.
+func (v Vector) Get(i int) uint64 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Set returns a vector with component i set to ts, growing if needed.
+// The receiver is modified in place when it is already large enough.
+func (v Vector) Set(i int, ts uint64) Vector {
+	if i < len(v) {
+		v[i] = ts
+		return v
+	}
+	grown := make(Vector, i+1)
+	copy(grown, v)
+	grown[i] = ts
+	return grown
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// LEQ reports whether v ≤ o componentwise (missing components are zero).
+func (v Vector) LEQ(o Vector) bool {
+	for i, ts := range v {
+		if ts > o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether v ≥ o componentwise.
+func (v Vector) Dominates(o Vector) bool { return o.LEQ(v) }
+
+// Equal reports componentwise equality, ignoring trailing zeroes.
+func (v Vector) Equal(o Vector) bool { return v.LEQ(o) && o.LEQ(v) }
+
+// Concurrent reports whether neither vector dominates the other.
+func (v Vector) Concurrent(o Vector) bool { return !v.LEQ(o) && !o.LEQ(v) }
+
+// Join sets v to the least upper bound (componentwise maximum) of v and o,
+// returning the possibly-grown vector. The paper calls this the LUB.
+func (v Vector) Join(o Vector) Vector {
+	if len(o) > len(v) {
+		grown := make(Vector, len(o))
+		copy(grown, v)
+		v = grown
+	}
+	for i, ts := range o {
+		if ts > v[i] {
+			v[i] = ts
+		}
+	}
+	return v
+}
+
+// LUB returns the least upper bound of a and b without mutating either.
+func LUB(a, b Vector) Vector { return a.Clone().Join(b) }
+
+// Sum returns the total number of transactions covered by the cut. It is a
+// convenient scalar progress measure for logs and tests.
+func (v Vector) Sum() uint64 {
+	var total uint64
+	for _, ts := range v {
+		total += ts
+	}
+	return total
+}
+
+// String renders the vector like "[2 0 1]".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, ts := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.FormatUint(ts, 10))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Dot uniquely identifies a transaction (paper §3.5): the identifier of the
+// node that executed it plus a per-node Lamport sequence number. Dots also
+// provide the total arbitration order used to resolve concurrency conflicts:
+// compare by (Seq, Node). Because Seq is a Lamport clock, arbitration is
+// consistent with happened-before, as TCC+ requires.
+type Dot struct {
+	Node string
+	Seq  uint64
+}
+
+// IsZero reports whether d is the zero dot (no transaction).
+func (d Dot) IsZero() bool { return d.Node == "" && d.Seq == 0 }
+
+// Compare returns -1, 0 or +1 ordering dots by (Seq, Node).
+func (d Dot) Compare(o Dot) int {
+	switch {
+	case d.Seq < o.Seq:
+		return -1
+	case d.Seq > o.Seq:
+		return 1
+	case d.Node < o.Node:
+		return -1
+	case d.Node > o.Node:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether d orders before o in the arbitration order.
+func (d Dot) Less(o Dot) bool { return d.Compare(o) < 0 }
+
+// String renders the dot like "edgeA:42".
+func (d Dot) String() string { return fmt.Sprintf("%s:%d", d.Node, d.Seq) }
+
+// Lamport is a per-node logical clock used to mint dot sequence numbers.
+// Witnessing remote dots keeps arbitration consistent with causality.
+// The zero value is ready to use. Lamport is not safe for concurrent use;
+// each node owns exactly one and guards it with the node's own lock.
+type Lamport struct {
+	last uint64
+}
+
+// Next returns a fresh sequence number strictly greater than every number
+// returned or witnessed before.
+func (l *Lamport) Next() uint64 {
+	l.last++
+	return l.last
+}
+
+// Witness records a sequence number observed from another node.
+func (l *Lamport) Witness(seq uint64) {
+	if seq > l.last {
+		l.last = seq
+	}
+}
+
+// Current returns the last issued or witnessed sequence number.
+func (l *Lamport) Current() uint64 { return l.last }

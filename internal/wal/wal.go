@@ -1,0 +1,222 @@
+// Package wal provides the durable transaction log behind a data centre
+// (paper §6.3: "Cloud nodes (DCs and PoPs) have secondary storage and
+// persist their data to it"). Committed transactions are appended as JSON
+// lines; on restart, the DC replays the log in order — which is a causal
+// order, because transactions are appended as they are applied — and
+// reconstructs its state. Far-edge nodes deliberately have no WAL (the paper
+// assumes no disk at the far edge; they repopulate their caches from the
+// group or the DC on reconnection).
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// record is the on-disk form of one transaction. Commit stamps become a
+// string-keyed map (JSON object keys must be strings).
+type record struct {
+	Node     string            `json:"node"`
+	Seq      uint64            `json:"seq"`
+	Origin   string            `json:"origin"`
+	Actor    string            `json:"actor,omitempty"`
+	Snapshot []uint64          `json:"snapshot"`
+	Commit   map[string]uint64 `json:"commit"`
+	Updates  []recordUpdate    `json:"updates"`
+}
+
+type recordUpdate struct {
+	Bucket string          `json:"bucket"`
+	Key    string          `json:"key"`
+	Kind   uint8           `json:"kind"`
+	Seq    int             `json:"useq"`
+	Op     json.RawMessage `json:"op"`
+}
+
+// encode converts a transaction to its disk record.
+func encode(t *txn.Transaction) (record, error) {
+	r := record{
+		Node:     t.Dot.Node,
+		Seq:      t.Dot.Seq,
+		Origin:   t.Origin,
+		Actor:    t.Actor,
+		Snapshot: append([]uint64(nil), t.Snapshot...),
+		Commit:   make(map[string]uint64, len(t.Commit)),
+	}
+	for dc, ts := range t.Commit {
+		r.Commit[strconv.Itoa(dc)] = ts
+	}
+	for _, u := range t.Updates {
+		op, err := json.Marshal(u.Op)
+		if err != nil {
+			return record{}, fmt.Errorf("wal: encode op: %w", err)
+		}
+		r.Updates = append(r.Updates, recordUpdate{
+			Bucket: u.Object.Bucket, Key: u.Object.Key,
+			Kind: uint8(u.Kind), Seq: u.Seq, Op: op,
+		})
+	}
+	return r, nil
+}
+
+// decode converts a disk record back to a transaction.
+func decode(r record) (*txn.Transaction, error) {
+	t := &txn.Transaction{
+		Dot:      vclock.Dot{Node: r.Node, Seq: r.Seq},
+		Origin:   r.Origin,
+		Actor:    r.Actor,
+		Snapshot: vclock.Vector(r.Snapshot),
+		Commit:   make(vclock.CommitStamps, len(r.Commit)),
+	}
+	for dcStr, ts := range r.Commit {
+		dc, err := strconv.Atoi(dcStr)
+		if err != nil {
+			return nil, fmt.Errorf("wal: bad commit key %q: %w", dcStr, err)
+		}
+		t.Commit[dc] = ts
+	}
+	for _, u := range r.Updates {
+		var op crdt.Op
+		if err := json.Unmarshal(u.Op, &op); err != nil {
+			return nil, fmt.Errorf("wal: decode op: %w", err)
+		}
+		t.Updates = append(t.Updates, txn.Update{
+			Object: txn.ObjectID{Bucket: u.Bucket, Key: u.Key},
+			Kind:   crdt.Kind(u.Kind),
+			Op:     op,
+			Seq:    u.Seq,
+		})
+	}
+	return t, nil
+}
+
+// Log is an append-only transaction log backed by one file.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// Open creates (or opens for append) the log at dir/name.
+func Open(dir, name string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Append durably records one transaction (buffered; call Sync for fsync
+// semantics, or rely on Close).
+func (l *Log) Append(t *txn.Transaction) error {
+	r, err := encode(t)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("wal: marshal: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errors.New("wal: closed")
+	}
+	if _, err := l.w.Write(data); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffers and fsyncs the file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errors.New("wal: closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	flushErr := l.w.Flush()
+	closeErr := l.f.Close()
+	l.w, l.f = nil, nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Replay streams the transactions recorded at dir/name, in append order, to
+// fn. A missing file is an empty log. A truncated final line (crash during
+// append) is tolerated and ends the replay.
+func Replay(dir, name string, fn func(*txn.Transaction) error) error {
+	f, err := os.Open(filepath.Join(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn tail write is expected after a crash; anything mid-file
+			// is corruption worth surfacing.
+			if isLastLine(sc) {
+				return nil
+			}
+			return fmt.Errorf("wal: corrupt record: %w", err)
+		}
+		t, err := decode(r)
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	return nil
+}
+
+// isLastLine reports whether the scanner has no further content.
+func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }

@@ -1,0 +1,143 @@
+// Package wire defines the messages exchanged between Colony nodes over the
+// network substrate: DC↔DC replication, edge↔DC commits and subscriptions,
+// and peer-group traffic. In the paper these ride RabbitMQ (between DCs) and
+// WebRTC data channels (between peers); here they are Go values delivered by
+// simnet.
+//
+// Transactions inside messages are treated as immutable; senders clone
+// before sending when they retain a mutable reference.
+package wire
+
+import (
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// --- DC ↔ DC replication ---
+
+// ReplTx replicates one committed transaction between DCs. State piggybacks
+// the sender's current state vector for K-stability tracking (paper §3.8).
+type ReplTx struct {
+	From  int // sender's DC index
+	Tx    *txn.Transaction
+	State vclock.Vector
+}
+
+// ReplHeartbeat advertises a DC's state vector when there is no traffic, so
+// K-stability keeps advancing.
+type ReplHeartbeat struct {
+	From  int
+	State vclock.Vector
+}
+
+// --- edge ↔ DC ---
+
+// EdgeCommit asks the connected DC to assign a concrete commit timestamp to
+// a locally committed edge transaction (paper §3.7). Sent as a Call; the
+// reply is EdgeCommitAck or EdgeCommitNack.
+type EdgeCommit struct {
+	Tx *txn.Transaction
+}
+
+// EdgeCommitAck carries the concrete commit descriptor back to the edge.
+type EdgeCommitAck struct {
+	Dot     vclock.Dot
+	DCIndex int
+	Ts      uint64
+	// Stable is the DC's current K-stable vector, letting the edge advance
+	// its visibility immediately.
+	Stable vclock.Vector
+}
+
+// EdgeCommitNack reports that the DC cannot accept the transaction because
+// its snapshot depends on transactions the DC has not seen (causal
+// incompatibility after migration, paper §3.8).
+type EdgeCommitNack struct {
+	Dot     vclock.Dot
+	Missing vclock.Vector // the DC's state vector, for diagnostics
+}
+
+// Subscribe declares (or extends) an edge node's interest set. Sent as a
+// Call; the reply is SubscribeAck.
+type Subscribe struct {
+	Node    string
+	Objects []txn.ObjectID
+	// Resume asks the DC to replay stable transactions not covered by Since
+	// — used after a disconnection or a migration, when pushes may have been
+	// lost. The subscriber deduplicates any overlap by dot.
+	Resume bool
+	Since  vclock.Vector
+}
+
+// SubscribeAck returns materialised base versions for the newly subscribed
+// objects at the DC's stable cut.
+type SubscribeAck struct {
+	Stable  vclock.Vector
+	Objects []ObjectState
+}
+
+// Unsubscribe removes objects from the interest set (cache eviction).
+type Unsubscribe struct {
+	Node    string
+	Objects []txn.ObjectID
+}
+
+// ObjectState is one materialised object shipped to a cache.
+type ObjectState struct {
+	ID   txn.ObjectID
+	Kind crdt.Kind
+	// Object is a deep clone materialised at Vec; nil when the DC has no
+	// state for the id (the object starts from its initial state).
+	Object crdt.Object
+	Vec    vclock.Vector
+	// ViaDC marks that a group parent had to fall through to the DC to
+	// serve this state (latency classification in the experiments).
+	ViaDC bool
+	// Folded lists group-visible transactions whose effects are included in
+	// Object beyond the Vec cut (they have no concrete commit yet); the
+	// receiving cache must not re-apply them to this object.
+	Folded []vclock.Dot
+}
+
+// FetchObject pulls one object on a cache miss. Sent as a Call; the reply is
+// ObjectState. At is the requesting transaction's snapshot: the DC serves
+// the object *at that cut* (it keeps journals above base versions), so a
+// mid-transaction miss cannot tear the snapshot — exactly SwiftCloud's
+// versioned read. A nil or uncovered At falls back to the stable cut.
+type FetchObject struct {
+	ID txn.ObjectID
+	At vclock.Vector
+}
+
+// PushTxs streams newly K-stable transactions (filtered to the receiver's
+// interest set) plus the sender's stable vector, in causal order.
+type PushTxs struct {
+	From   string
+	Txs    []*txn.Transaction
+	Stable vclock.Vector
+}
+
+// TxReader reads an object inside a transaction running at a DC.
+type TxReader func(id txn.ObjectID) (crdt.Object, error)
+
+// TxUpdater buffers an update inside a transaction running at a DC.
+type TxUpdater func(id txn.ObjectID, kind crdt.Kind, op crdt.Op) error
+
+// MigratedTx ships a resource-hungry transaction to the core cloud for
+// execution (paper §3.9). The closure stands in for the paper's mobile code;
+// shipping real code is a transport concern orthogonal to the protocol.
+// Snapshot primes the transaction with the client's state vector; the DC
+// must have received the client's own transactions first.
+type MigratedTx struct {
+	Origin   string
+	Actor    string
+	Snapshot vclock.Vector
+	Fn       func(read TxReader, update TxUpdater) error
+}
+
+// MigratedTxAck reports the outcome of a migrated transaction.
+type MigratedTxAck struct {
+	Commit vclock.CommitStamps
+	Err    string
+}
