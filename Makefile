@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test test-race vet check bench-store bench-vclock bench-fig4
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The store and dc packages carry the concurrency-heavy code (sharded store
+# locks, background base advancement, ClockSI 2PC); run them under the race
+# detector on every check.
+test-race:
+	$(GO) test -race ./internal/store ./internal/dc
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test test-race
+
+# Read-path microbenchmarks: materialisation cache on/off over journal
+# depths, parallel readers over shards, incremental advancing-cut reads.
+bench-store:
+	$(GO) test -run xxx -bench BenchmarkStore -benchmem ./internal/store
+
+bench-vclock:
+	$(GO) test -run xxx -bench BenchmarkVector -benchmem ./internal/vclock
+
+# Repository-level figure benchmarks (reduced configurations).
+bench-fig4:
+	$(GO) test -run xxx -bench BenchmarkFig4 -benchtime 3x .

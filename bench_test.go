@@ -202,3 +202,51 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkColonyJournalBound runs a write-heavy single-channel Colony
+// deployment with the automatic base-advancement policy on (threshold 32)
+// and off, reporting throughput plus the deployment-wide journal high-water
+// mark (max-journal). With the policy on, the mark stays near the threshold
+// plus the in-flight window; off, it grows with the action count.
+func BenchmarkColonyJournalBound(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		adv  int
+	}{{"advance=on", 32}, {"advance=off", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tcfg := chat.DefaultTraceConfig(0, 400, 21)
+				tcfg.Users = 8
+				tcfg.Workspaces = 1
+				tcfg.ChannelsPerWS = 1
+				tcfg.ReadRatio = 0.2
+				tr := chat.Generate(tcfg)
+				dep, err := bench.Deploy(bench.DeployConfig{
+					Mode: bench.ModeColony, DCs: 1, K: 1, Clients: 8, GroupSize: 8,
+					Trace: tr, Scale: benchScale, Seed: 21,
+					AutoAdvanceThreshold: tc.adv,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				peak := 0
+				const chunk = 50
+				for off := 0; off < len(tr.Actions); off += chunk {
+					end := off + chunk
+					if end > len(tr.Actions) {
+						end = len(tr.Actions)
+					}
+					bench.RunActions(dep, tr.Actions[off:end], false, benchScale)
+					if n := dep.MaxJournalLen(); n > peak {
+						peak = n
+					}
+				}
+				elapsed := time.Since(start).Seconds() / benchScale
+				b.ReportMetric(float64(len(tr.Actions))/elapsed, "tput(model-txn/s)")
+				b.ReportMetric(float64(peak), "max-journal")
+				dep.Close()
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@ func run(args []string) error {
 		scale  = fs.Float64("scale", 0.1, "latency scale")
 		every  = fs.Duration("status", 2*time.Second, "status report period")
 		deny   = fs.Bool("deny-by-default", false, "ACL denies unlisted objects")
+		adv    = fs.Int("auto-advance", 256, "journal length that triggers background base advancement (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,7 +46,8 @@ func run(args []string) error {
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		DCs: *dcs, ShardsPerDC: *shards, K: *k,
 		Profile: core.PaperProfile(), Scale: *scale,
-		DenyByDefault: *deny,
+		DenyByDefault:        *deny,
+		AutoAdvanceThreshold: *adv,
 	})
 	if err != nil {
 		return err
@@ -57,6 +59,8 @@ func run(args []string) error {
 		p := group.NewParent(cluster.Network(), group.ParentConfig{
 			Name: fmt.Sprintf("pop%d", i),
 			DC:   cluster.DCName(i % *dcs),
+
+			AutoAdvanceThreshold: *adv,
 		})
 		if err := p.Connect(); err != nil {
 			p.Close()

@@ -175,6 +175,29 @@ type Deployment struct {
 	cloud   []*core.CloudSession
 }
 
+// MaxJournalLen reports the longest object journal anywhere in the
+// deployment — DC storage shards, group parents and device caches — the
+// figure DeployConfig.AutoAdvanceThreshold bounds.
+func (d *Deployment) MaxJournalLen() int {
+	longest := 0
+	for i := 0; i < d.Cluster.NumDCs(); i++ {
+		if n := d.Cluster.DC(i).MaxJournalLen(); n > longest {
+			longest = n
+		}
+	}
+	for _, p := range d.Parents {
+		if n := p.Node().MaxJournalLen(); n > longest {
+			longest = n
+		}
+	}
+	for _, c := range d.conns {
+		if n := c.Node().MaxJournalLen(); n > longest {
+			longest = n
+		}
+	}
+	return longest
+}
+
 // DeployConfig describes a deployment.
 type DeployConfig struct {
 	Mode      Mode
@@ -197,6 +220,10 @@ type DeployConfig struct {
 	// CacheLimit bounds each client's interest set (LRU); 0 = unlimited.
 	CacheLimit int
 	Seed       int64
+	// AutoAdvanceThreshold bounds per-object journal growth everywhere (DC
+	// shards, device caches, group parents) via background base
+	// advancement. 0 means the default (256); negative disables.
+	AutoAdvanceThreshold int
 }
 
 // Deploy boots a cluster and connects the clients for the configured mode.
@@ -208,6 +235,12 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	if cfg.K <= 0 {
 		cfg.K = 2
 	}
+	switch {
+	case cfg.AutoAdvanceThreshold == 0:
+		cfg.AutoAdvanceThreshold = 256
+	case cfg.AutoAdvanceThreshold < 0:
+		cfg.AutoAdvanceThreshold = 0
+	}
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		DCs:         cfg.DCs,
 		ShardsPerDC: 4,
@@ -218,6 +251,8 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		Seed:        cfg.Seed,
 		ServiceTime: cfg.ServiceTime,
 		Workers:     cfg.Workers,
+
+		AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -264,6 +299,8 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 				Name:          fmt.Sprintf("pop%d", g),
 				DC:            cluster.DCName(g % cfg.DCs),
 				RetryInterval: scaled(20*time.Millisecond, cfg.Scale),
+
+				AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 			})
 			// Border link (carrier Ethernet); simnet applies the scale.
 			cluster.Network().SetBidirectional(p.Name(), cluster.DCName(g%cfg.DCs),
@@ -304,6 +341,8 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 					CacheLimit:    cfg.CacheLimit,
 					MaxUnacked:    16,
 					CallTimeout:   10 * time.Second,
+
+					AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 				})
 				if err != nil {
 					errs[i] = err

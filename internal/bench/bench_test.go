@@ -224,3 +224,67 @@ func TestDeriveClaims(t *testing.T) {
 		t.Fatalf("hit rates = %+v", c)
 	}
 }
+
+// TestColonyJournalBounded runs a sustained write-heavy ModeColony workload
+// against one hot channel, once with automatic base advancement disabled and
+// once with a small threshold, and checks that the threshold actually bounds
+// journal growth during the run (within an in-flight window) while the
+// unbounded run grows past it.
+func TestColonyJournalBounded(t *testing.T) {
+	const threshold = 8
+	tcfg := chat.DefaultTraceConfig(0, 240, 9)
+	tcfg.Users = 4
+	tcfg.Workspaces = 1
+	tcfg.ChannelsPerWS = 1
+	tcfg.ReadRatio = 0.2 // write-heavy: journals must actually grow
+	tr := chat.Generate(tcfg)
+
+	run := func(autoAdvance int) (peak int, dep *Deployment) {
+		dep, err := Deploy(DeployConfig{
+			Mode: ModeColony, DCs: 1, K: 1, Clients: 4, GroupSize: 4,
+			Trace: tr, Scale: 0.02, Seed: 9,
+			AutoAdvanceThreshold: autoAdvance,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample the deployment-wide journal high-water mark between chunks
+		// of the action stream (a sustained run, not just the final state).
+		const chunk = 30
+		for off := 0; off < len(tr.Actions); off += chunk {
+			end := off + chunk
+			if end > len(tr.Actions) {
+				end = len(tr.Actions)
+			}
+			RunActions(dep, tr.Actions[off:end], false, 0.02)
+			if n := dep.MaxJournalLen(); n > peak {
+				peak = n
+			}
+		}
+		return peak, dep
+	}
+
+	unboundedPeak, dep := run(-1)
+	dep.Close()
+	if unboundedPeak <= threshold {
+		t.Skipf("workload too light to exercise the bound (unbounded peak %d)", unboundedPeak)
+	}
+
+	boundedPeak, dep := run(threshold)
+	defer dep.Close()
+	// The fold is asynchronous, so allow an in-flight window: entries that
+	// cannot fold yet (each client's unacked commit pipeline, not yet
+	// K-stable) plus writes landing while a fold runs. One action chunk plus
+	// one client's MaxUnacked pipeline is a generous ceiling at this scale.
+	if limit := threshold + 30 + 16; boundedPeak > limit {
+		t.Fatalf("bounded run peaked at %d, want ≤ %d (threshold %d + in-flight window)",
+			boundedPeak, limit, threshold)
+	}
+	if boundedPeak*2 >= unboundedPeak {
+		t.Fatalf("auto-advance barely helped: bounded peak %d vs unbounded peak %d",
+			boundedPeak, unboundedPeak)
+	}
+	// No settle-to-threshold assertion: the trigger is apply-driven, so when
+	// the load stops, the tail that was not yet K-stable at the last fold
+	// legitimately stays in the journals until the next write burst.
+}

@@ -170,6 +170,13 @@ func (s *Shard) Advance(cut vclock.Vector, keepDots bool) error {
 	return s.store.Advance(cut, keepDots)
 }
 
+// SetAutoAdvance installs the store's automatic advancement policy; call
+// before the shard starts serving.
+func (s *Shard) SetAutoAdvance(p store.AdvancePolicy) { s.store.SetAutoAdvance(p) }
+
+// MaxJournalLen reports the shard's longest object journal.
+func (s *Shard) MaxJournalLen() int { return s.store.MaxJournalLen() }
+
 // PreparedCount reports the number of in-flight prepared transactions
 // (exposed for tests and monitoring).
 func (s *Shard) PreparedCount() int {
@@ -279,4 +286,23 @@ func (c *Coordinator) Advance(cut vclock.Vector, keepDots bool) error {
 		}
 	}
 	return nil
+}
+
+// SetAutoAdvance installs the automatic advancement policy on every shard;
+// call before the DC starts serving.
+func (c *Coordinator) SetAutoAdvance(p store.AdvancePolicy) {
+	for _, s := range c.shards {
+		s.SetAutoAdvance(p)
+	}
+}
+
+// MaxJournalLen reports the longest object journal across the shards.
+func (c *Coordinator) MaxJournalLen() int {
+	longest := 0
+	for _, s := range c.shards {
+		if n := s.MaxJournalLen(); n > longest {
+			longest = n
+		}
+	}
+	return longest
 }

@@ -67,6 +67,10 @@ type ClusterConfig struct {
 	// (pre-scale it when the experiment scales latencies).
 	ServiceTime time.Duration
 	Workers     int
+	// AutoAdvanceThreshold bounds per-object journal growth on every DC
+	// storage shard via background base advancement (see dc.Config); 0
+	// disables.
+	AutoAdvanceThreshold int
 }
 
 // Cluster is a running Colony deployment: the core-cloud DC mesh plus the
@@ -121,6 +125,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Heartbeat:   cfg.Heartbeat,
 			ServiceTime: cfg.ServiceTime,
 			Workers:     cfg.Workers,
+
+			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})
 		if err != nil {
 			net.Close()

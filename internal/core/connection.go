@@ -44,6 +44,9 @@ type ConnectOptions struct {
 	// CallTimeout bounds each RPC to the DC (default 2s); experiments with
 	// heavily loaded DCs raise it.
 	CallTimeout time.Duration
+	// AutoAdvanceThreshold bounds the device cache's per-object journals
+	// via background base advancement (see edge.Config); 0 disables.
+	AutoAdvanceThreshold int
 }
 
 // Connection is an application node's session with Colony: an edge device
@@ -90,6 +93,8 @@ func (c *Cluster) Connect(opts ConnectOptions) (*Connection, error) {
 		RetryInterval: opts.RetryInterval,
 		MaxUnacked:    opts.MaxUnacked,
 		CallTimeout:   opts.CallTimeout,
+
+		AutoAdvanceThreshold: opts.AutoAdvanceThreshold,
 	})
 	// Far-edge link latency (cellular by default).
 	c.linkEdge(opts.Name, dcName, c.cfg.Profile.EdgeLink)

@@ -53,6 +53,12 @@ type Config struct {
 	// CompactEvery triggers automatic base-version advancement (journal
 	// truncation, paper §4.1) on the heartbeat worker; 0 disables.
 	CompactEvery time.Duration
+	// AutoAdvanceThreshold additionally lets each storage shard advance its
+	// own base versions in the background whenever an object's journal
+	// outgrows this many entries, folding up to the DC's K-stable cut. It
+	// bounds journal growth under sustained write load between CompactEvery
+	// ticks (and without them). 0 disables.
+	AutoAdvanceThreshold int
 	// DataDir enables persistence (paper §6.3): committed transactions are
 	// appended to a write-ahead log under this directory and replayed on
 	// restart. Empty disables persistence (unit tests, far-edge nodes).
@@ -142,6 +148,15 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		masked:        make(map[vclock.Dot]*txn.Transaction),
 		stopHeartbeat: make(chan struct{}),
 		heartbeatDone: make(chan struct{}),
+	}
+	if cfg.AutoAdvanceThreshold > 0 {
+		coord.SetAutoAdvance(store.AdvancePolicy{
+			JournalThreshold: cfg.AutoAdvanceThreshold,
+			// Fold up to the K-stable cut; keep dots so migration-induced
+			// re-delivery stays deduplicated.
+			Cut:      d.Stable,
+			KeepDots: true,
+		})
 	}
 	if cfg.ServiceTime > 0 {
 		if cfg.Workers <= 0 {
@@ -851,6 +866,13 @@ func (d *DC) RecheckVisibility() {
 // filtering keeps working across migrations.
 func (d *DC) Compact() error {
 	return d.coord.Advance(d.Stable(), true)
+}
+
+// MaxJournalLen reports the longest object journal across the DC's storage
+// shards — the figure AutoAdvanceThreshold bounds (exposed for tests and
+// monitoring).
+func (d *DC) MaxJournalLen() int {
+	return d.coord.MaxJournalLen()
 }
 
 // LogLen reports the number of visible transactions recorded at this DC

@@ -482,3 +482,39 @@ func TestHeartbeatAdvancesStability(t *testing.T) {
 		return dcs[0].Stable().Get(0) >= 1
 	}, "stability never advanced via heartbeats")
 }
+
+func TestAutoAdvanceBoundsShardJournals(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	const threshold = 8
+	d, err := New(net, Config{
+		Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1,
+		AutoAdvanceThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetPeers(map[int]string{0: "dc0"})
+	t.Cleanup(d.Close)
+
+	const writes = 200
+	for i := 0; i < writes; i++ {
+		tx := d.Begin("alice")
+		tx.Update(xID, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The background folds run asynchronously; once the write load stops
+	// they must bring every journal back under the threshold.
+	waitFor(t, 5*time.Second, func() bool { return d.MaxJournalLen() <= threshold },
+		fmt.Sprintf("MaxJournalLen %d did not settle under %d", d.MaxJournalLen(), threshold))
+	// And the fold must not have lost or double-counted anything.
+	if got := counterValue(t, d, d.State()); got != writes {
+		t.Fatalf("total after auto-advance = %d, want %d", got, writes)
+	}
+	// Folded transactions keep their dots: re-delivery stays deduplicated.
+	if got := counterValue(t, d, d.State()); got != writes {
+		t.Fatalf("re-read total = %d, want %d", got, writes)
+	}
+}

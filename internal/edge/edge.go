@@ -81,6 +81,11 @@ type Config struct {
 	// (0 = unbounded). The bound models a device's finite commit-log buffer
 	// and creates back-pressure when the DC falls behind.
 	MaxUnacked int
+	// AutoAdvanceThreshold lets the local store fold journal entries below
+	// the node's stable vector into its base versions in the background
+	// whenever an object's journal outgrows this many entries, bounding
+	// memory on long-lived cache entries. 0 disables.
+	AutoAdvanceThreshold int
 }
 
 // Stats are cumulative counters exposed for experiments.
@@ -148,6 +153,15 @@ func New(net *simnet.Network, cfg Config) *Node {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	if cfg.AutoAdvanceThreshold > 0 {
+		st.SetAutoAdvance(store.AdvancePolicy{
+			JournalThreshold: cfg.AutoAdvanceThreshold,
+			// Fold up to the node's stable cut; keep dots so resumed or
+			// migrated deliveries stay deduplicated.
+			Cut:      n.StableVector,
+			KeepDots: true,
+		})
+	}
 	n.node = net.AddNode(cfg.Name, n.handle)
 	go n.senderLoop()
 	return n
@@ -199,6 +213,11 @@ func (n *Node) StableVector() vclock.Vector {
 	defer n.mu.Unlock()
 	return n.stable.Clone()
 }
+
+// MaxJournalLen reports the longest object journal in the local cache — the
+// figure Config.AutoAdvanceThreshold bounds (exposed for tests and
+// monitoring).
+func (n *Node) MaxJournalLen() int { return n.st.MaxJournalLen() }
 
 // ConnectedDC returns the currently connected DC's node name.
 func (n *Node) ConnectedDC() string {

@@ -25,6 +25,9 @@ type ParentConfig struct {
 	DC string
 	// RetryInterval paces consensus retries and DC reconnection attempts.
 	RetryInterval time.Duration
+	// AutoAdvanceThreshold bounds the collaborative cache's journals (see
+	// edge.Config.AutoAdvanceThreshold). 0 disables.
+	AutoAdvanceThreshold int
 }
 
 // Parent seeds and manages a peer group (paper §5.1.1), maintains the
@@ -68,7 +71,8 @@ func NewParent(netw *simnet.Network, cfg ParentConfig) *Parent {
 	}
 	p.node = edge.New(netw, edge.Config{
 		Name: cfg.Name, Actor: cfg.Actor, DC: cfg.DC,
-		RetryInterval: cfg.RetryInterval,
+		RetryInterval:        cfg.RetryInterval,
+		AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 	})
 	p.replica = epaxos.NewReplica(cfg.Name, nil,
 		func(to string, msg any) { _ = p.node.Send(to, msg) },

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+
+	"colony/internal/vclock"
+)
+
+// AdvancePolicy drives automatic base advancement: when an Apply leaves any
+// journal longer than JournalThreshold, the store folds the entries visible
+// at Cut() into the base versions in the background, bounding journal growth
+// during sustained write load (paper §4.1: "occasionally, the system
+// advances the base version").
+type AdvancePolicy struct {
+	// JournalThreshold is the journal length that triggers an advancement;
+	// zero or negative disables the policy.
+	JournalThreshold int
+	// Cut supplies the fold cut — typically the K-stable vector from the DC
+	// mesh (dc) or the edge node's stable vector. It is called outside every
+	// store lock and must not call back into the store's write path. A nil
+	// func or an empty cut skips the advancement.
+	Cut func() vclock.Vector
+	// KeepDots preserves the duplicate filter for folded transactions (see
+	// Advance).
+	KeepDots bool
+}
+
+// SetAutoAdvance installs the automatic advancement policy. Must be called
+// before the store is shared between goroutines.
+func (s *Store) SetAutoAdvance(p AdvancePolicy) { s.policy = p }
+
+// maybeAutoAdvance fires the background advancement when the longest journal
+// an Apply just touched exceeds the policy threshold. Triggers coalesce: at
+// most one advancement runs at a time, and applies that arrive while one is
+// running re-trigger on their next threshold crossing. Journals therefore
+// stay bounded by the threshold plus the writes in flight during one fold.
+func (s *Store) maybeAutoAdvance(longest int) {
+	p := s.policy
+	if p.JournalThreshold <= 0 || p.Cut == nil || longest <= p.JournalThreshold {
+		return
+	}
+	if !s.advancing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.advancing.Store(false)
+		cut := p.Cut()
+		if len(cut) == 0 {
+			return
+		}
+		_ = s.Advance(cut, p.KeepDots)
+	}()
+}
+
+// Advance folds every journal entry visible at cut into each object's base
+// version and truncates the journals (paper §4.1). Transactions whose every
+// update was folded everywhere they appear are released from the dot index
+// only if keepDots is false; keeping dots preserves duplicate filtering
+// across migration at the cost of memory.
+//
+// Shards are advanced one at a time, so concurrent reads of untouched shards
+// proceed; cut must be stable (every future read vector dominates it), which
+// also makes the shard-by-shard fold invisible to readers.
+func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
+	folded := make(map[vclock.Dot]bool)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, obj := range sh.objects {
+			kept := obj.journal[:0]
+			for _, e := range obj.journal {
+				if e.tx.VisibleAt(cut) {
+					if err := obj.base.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+						sh.mu.Unlock()
+						return fmt.Errorf("advance %s: %w", id, err)
+					}
+					folded[e.tx.Dot] = true
+					continue
+				}
+				kept = append(kept, e)
+			}
+			obj.journal = kept
+			obj.baseVec = obj.baseVec.Join(cut)
+			// The base moved and journal indices shifted; drop the
+			// memoised materialisation.
+			obj.cache = nil
+		}
+		sh.mu.Unlock()
+	}
+	if !keepDots {
+		s.txMu.Lock()
+		for dot := range folded {
+			delete(s.txs, dot)
+		}
+		s.txMu.Unlock()
+	}
+	return nil
+}

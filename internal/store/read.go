@@ -1,0 +1,207 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+
+	"colony/internal/crdt"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+// ReadOptions tune a materialising read. See the package comment for which
+// combinations are eligible for the materialisation cache.
+type ReadOptions struct {
+	// ExtraVisible admits journal entries from these specific transactions
+	// even when the snapshot vector does not cover them. Peer groups use it
+	// to expose the EPaxos visibility log (paper §5.1.4). The cache
+	// identifies the set by the map's identity, so callers must treat the
+	// map as copy-on-write: build a new map when the set changes rather
+	// than mutating one already passed to Read (the group layer's
+	// visibility log already works this way).
+	ExtraVisible map[vclock.Dot]bool
+	// SelfVisible controls the Read-My-Writes guarantee: when true (the
+	// usual setting for edge nodes), transactions originated by this store's
+	// node are always visible.
+	SelfVisible bool
+	// Reject masks journal entries whose transaction fails the predicate —
+	// the read-time half of ACL enforcement (paper §6.4: "object versions
+	// are visible according to the local copy of the ACL"). The predicate
+	// must not call back into the store. Reads with a Reject predicate are
+	// never served from the materialisation cache.
+	Reject func(*txn.Transaction) bool
+}
+
+// readFP fingerprints the cache-relevant shape of a ReadOptions value. Two
+// reads with equal fingerprints apply the same visibility predicate to any
+// given entry (given the copy-on-write discipline on ExtraVisible).
+type readFP struct {
+	selfVisible bool
+	extraLen    int
+	extraID     uintptr
+}
+
+// fingerprint derives the cache key for opts; ok is false when the options
+// are not cache-eligible.
+func fingerprint(opts ReadOptions) (readFP, bool) {
+	if opts.Reject != nil {
+		return readFP{}, false
+	}
+	fp := readFP{selfVisible: opts.SelfVisible, extraLen: len(opts.ExtraVisible)}
+	if opts.ExtraVisible != nil {
+		fp.extraID = reflect.ValueOf(opts.ExtraVisible).Pointer()
+	}
+	return fp, true
+}
+
+// matCache memoises an object's last materialisation.
+//
+// A published matCache is immutable — invalidation and refresh replace the
+// whole struct — and its state field is only ever cloned from, never
+// mutated, so concurrent readers can share one.
+type matCache struct {
+	// state is the materialisation of journal[:watermark] at cut vec under
+	// fingerprint fp.
+	state crdt.Object
+	vec   vclock.Vector
+	// watermark is the journal length when state was built.
+	watermark int
+	// allApplied records that every entry below the watermark was folded
+	// into state. Only then can a later read reuse state incrementally: a
+	// skipped entry might become visible afterwards (a dominating cut, or a
+	// Promote turning a symbolic commit concrete at the *same* cut), and it
+	// can no longer be replayed in journal order. Applied entries stay
+	// applied — visibility at a dominating cut is monotone — so allApplied
+	// materialisations are safe to extend.
+	allApplied bool
+	fp         readFP
+}
+
+// Read materialises the object at the causal cut at. Entries are replayed in
+// journal (arrival) order, which respects causality because the visibility
+// layer delivers transactions causally; concurrent entries commute by CRDT
+// construction. Returns ErrNotFound for unknown objects.
+//
+// Cache-eligible reads (see the package comment) reuse the object's last
+// materialisation when possible and replay only journal entries past its
+// watermark.
+func (s *Store) Read(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (crdt.Object, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, ok := sh.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+	}
+	return s.materializeLocked(id, obj, at, opts)
+}
+
+// Value is Read followed by Object.Value, under a single lock acquisition.
+func (s *Store) Value(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (any, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, ok := sh.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+	}
+	out, err := s.materializeLocked(id, obj, at, opts)
+	if err != nil {
+		return nil, err
+	}
+	return out.Value(), nil
+}
+
+// materializeLocked produces the object's state at cut at. The caller holds
+// the object's shard lock (read or write).
+func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector, opts ReadOptions) (crdt.Object, error) {
+	fp, cacheable := fingerprint(opts)
+	if s.readCacheOff {
+		cacheable = false
+	}
+	if !cacheable {
+		out, _, err := s.replay(id, obj.base.Clone(), obj.journal, at, opts)
+		return out, err
+	}
+
+	obj.cacheMu.Lock()
+	c := obj.cache
+	obj.cacheMu.Unlock()
+
+	if c != nil && c.fp == fp && c.allApplied && c.vec.LEQ(at) {
+		if c.watermark == len(obj.journal) {
+			// Nothing new since the cached materialisation.
+			return c.state.Clone(), nil
+		}
+		out, all, err := s.replay(id, c.state.Clone(), obj.journal[c.watermark:], at, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.installCache(obj, &matCache{
+			state:      out,
+			vec:        at.Clone(),
+			watermark:  len(obj.journal),
+			allApplied: all,
+			fp:         fp,
+		})
+		return out.Clone(), nil
+	}
+
+	// Full replay; memoise the result when it supersedes the cached one.
+	out, all, err := s.replay(id, obj.base.Clone(), obj.journal, at, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.installCache(obj, &matCache{
+		state:      out,
+		vec:        at.Clone(),
+		watermark:  len(obj.journal),
+		allApplied: all,
+		fp:         fp,
+	})
+	return out.Clone(), nil
+}
+
+// installCache publishes next as the object's materialisation unless the
+// current cache is strictly better (a later cut with the same fingerprint).
+// The monotone policy keeps steady-state readers — whose cuts only ever
+// grow — hitting the incremental path, while an occasional lagging read
+// cannot regress the cache.
+func (s *Store) installCache(obj *object, next *matCache) {
+	obj.cacheMu.Lock()
+	cur := obj.cache
+	if cur == nil || cur.fp != next.fp || cur.vec.LEQ(next.vec) {
+		obj.cache = next
+	}
+	obj.cacheMu.Unlock()
+}
+
+// replay folds the visible entries of journal into state (mutating it) and
+// reports whether every entry was applied.
+func (s *Store) replay(id txn.ObjectID, state crdt.Object, journal []entry, at vclock.Vector, opts ReadOptions) (crdt.Object, bool, error) {
+	all := true
+	for _, e := range journal {
+		if !s.entryVisible(e, at, opts) {
+			all = false
+			continue
+		}
+		if err := state.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+			return nil, false, fmt.Errorf("read %s: replay %s: %w", id, e.tx.Dot, err)
+		}
+	}
+	return state, all, nil
+}
+
+// entryVisible implements the visibility predicate for one journal entry.
+func (s *Store) entryVisible(e entry, at vclock.Vector, opts ReadOptions) bool {
+	if opts.Reject != nil && opts.Reject(e.tx) {
+		return false
+	}
+	if opts.SelfVisible && e.tx.Origin == s.self {
+		return true
+	}
+	if opts.ExtraVisible[e.tx.Dot] {
+		return true
+	}
+	return e.tx.VisibleAt(at)
+}

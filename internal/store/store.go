@@ -4,12 +4,40 @@
 // causal cut — plus a *journal* of committed updates since the base. Reading
 // an object at an arbitrary snapshot vector clones the base and replays the
 // journal entries visible at that vector. The system occasionally advances
-// the base to truncate the journal.
+// the base to truncate the journal — explicitly through Advance, or
+// automatically through a SetAutoAdvance policy.
 //
 // The store is the *backend* layer of Colony's state/visibility split: it
 // accepts and stores transactions without regard for correctness; the
 // *visibility* layer above (replication, edge, group) only hands it read
 // vectors that already satisfy the TCC+ invariants.
+//
+// # Read-path performance
+//
+// Objects are spread over a fixed number of hash shards, each guarded by its
+// own read-write lock, so concurrent reads and applies of different objects
+// do not serialise. The transaction index (the dot filter) lives under a
+// separate lock of its own. Each object additionally memoises its last
+// materialisation — the CRDT state, the cut it was built at, and a journal
+// watermark — so a read whose cut dominates the cached cut clones the cached
+// state and replays only the journal entries past the watermark: amortised
+// O(new entries) instead of O(journal length).
+//
+// A read is cache-eligible when its ReadOptions satisfy both of:
+//
+//   - Reject is nil: read-time masking depends on predicate identity, which
+//     the cache cannot fingerprint, so masked reads always replay fully.
+//   - ExtraVisible is empty, or the caller treats the map as copy-on-write
+//     (never mutated after being passed to Read): the cache keys on the
+//     map's identity and length. The group layer's visibility log follows
+//     this discipline.
+//
+// SelfVisible may take either value — it is part of the cache fingerprint,
+// so reads with different SelfVisible settings never share a
+// materialisation. Non-monotonic reads (a cut that does not dominate the
+// cached cut) fall back to a full journal replay, as do reads through a
+// cache whose materialisation skipped entries that a later cut could
+// surface.
 package store
 
 import (
@@ -17,6 +45,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"colony/internal/crdt"
 	"colony/internal/txn"
@@ -33,6 +62,11 @@ var (
 	// ErrUnknownTx reports a Promote of a transaction this store never saw.
 	ErrUnknownTx = errors.New("store: unknown transaction")
 )
+
+// numShards is the number of object shards. Sixteen keeps the per-store
+// footprint trivial while letting a DC shard server or a busy edge cache
+// serve that many concurrent readers of distinct objects without contention.
+const numShards = 16
 
 // entry is one journal record: which transaction produced the update and the
 // update's index within it (the pair determines the CRDT op tag).
@@ -51,16 +85,33 @@ type object struct {
 	// included in a collaborative-cache seed.
 	folded  map[vclock.Dot]bool
 	journal []entry
+
+	// cacheMu guards cache against concurrent readers; writers (Apply,
+	// Advance, Seed) hold the shard's write lock, which already excludes
+	// every reader, so they may touch cache without it.
+	cacheMu sync.Mutex
+	cache   *matCache
+}
+
+// storeShard is one hash shard of the object table.
+type storeShard struct {
+	mu      sync.RWMutex
+	objects map[txn.ObjectID]*object
 }
 
 // Store is a thread-safe versioned object store for one replica.
 type Store struct {
-	mu sync.RWMutex
 	// self is the owning node's identifier; transactions originated by self
 	// are always readable regardless of their commit state (Read-My-Writes).
-	self    string
-	objects map[txn.ObjectID]*object
-	txs     map[vclock.Dot]*txn.Transaction
+	self   string
+	shards [numShards]storeShard
+
+	// txMu guards txs (the dot filter) independently of the object shards so
+	// metadata operations (Promote, ResolveSnapshot) never contend with
+	// object reads. Lock order: shard locks (ascending index) before txMu.
+	txMu sync.RWMutex
+	txs  map[vclock.Dot]*txn.Transaction
+
 	// cacheMode marks a partial replica (an edge cache): applying a remote
 	// transaction must not create objects the cache has no base state for —
 	// a journal on top of a missing base would materialise wrong values.
@@ -68,25 +119,99 @@ type Store struct {
 	// into the cache (seeds are always taken at or above the skipped
 	// transaction's commit cut).
 	cacheMode bool
+	// readCacheOff disables the materialisation cache (benchmark baseline).
+	readCacheOff bool
+
+	// policy drives automatic base advancement; advancing coalesces
+	// concurrent triggers into one background fold.
+	policy    AdvancePolicy
+	advancing atomic.Bool
 }
 
 // New returns an empty store owned by node self.
 func New(self string) *Store {
-	return &Store{
-		self:    self,
-		objects: make(map[txn.ObjectID]*object),
-		txs:     make(map[vclock.Dot]*txn.Transaction),
+	s := &Store{
+		self: self,
+		txs:  make(map[vclock.Dot]*txn.Transaction),
 	}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[txn.ObjectID]*object)
+	}
+	return s
 }
 
 // SetCacheMode marks the store as a partial replica (edge cache); see the
 // cacheMode field for the semantics. Must be called before use.
 func (s *Store) SetCacheMode(on bool) { s.cacheMode = on }
 
+// SetReadCache enables or disables the per-object materialisation cache
+// (enabled by default; benchmarks disable it to measure the baseline). Must
+// be called before the store is shared between goroutines.
+func (s *Store) SetReadCache(on bool) { s.readCacheOff = !on }
+
+// shardIndex hashes an ObjectID onto a shard (FNV-1a over "bucket/key",
+// inlined to avoid allocating a hasher per call).
+func shardIndex(id txn.ObjectID) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id.Bucket); i++ {
+		h ^= uint32(id.Bucket[i])
+		h *= prime32
+	}
+	h ^= uint32('/')
+	h *= prime32
+	for i := 0; i < len(id.Key); i++ {
+		h ^= uint32(id.Key[i])
+		h *= prime32
+	}
+	return int(h % numShards)
+}
+
+// shardFor returns the shard holding id.
+func (s *Store) shardFor(id txn.ObjectID) *storeShard { return &s.shards[shardIndex(id)] }
+
+// lockShards write-locks every shard marked in mask, in ascending index
+// order (the store-wide lock order, making multi-shard applies deadlock
+// free).
+func (s *Store) lockShards(mask *[numShards]bool) {
+	for i := range s.shards {
+		if mask[i] {
+			s.shards[i].mu.Lock()
+		}
+	}
+}
+
+// unlockShards releases the shards locked by lockShards.
+func (s *Store) unlockShards(mask *[numShards]bool) {
+	for i := range s.shards {
+		if mask[i] {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// updateShards marks the shards holding any object t updates.
+func updateShards(t *txn.Transaction) [numShards]bool {
+	var mask [numShards]bool
+	for _, u := range t.Updates {
+		mask[shardIndex(u.Object)] = true
+	}
+	return mask
+}
+
 // Apply appends the transaction's updates to the journals of the objects it
 // touches. It returns ErrDuplicate (after doing nothing) when the dot was
 // already applied — the dot filter that makes migration-induced re-delivery
 // safe (paper §3.8).
+//
+// Every shard the transaction touches is locked for the duration, so a
+// concurrent read of any touched object observes either none or all of the
+// transaction's updates (atomicity for self-visible reads; cut-visible reads
+// get atomicity from the visibility layer, which only exposes the commit
+// after Apply returns).
 //
 // Two classes of update are skipped (per object, without failing the whole
 // transaction): updates to objects a cache-mode store does not hold (unless
@@ -95,8 +220,9 @@ func (s *Store) SetCacheMode(on bool) { s.cacheMode = on }
 // base vector) — which happens when a freshly seeded base already contains
 // an update that is later replayed by a recovery path.
 func (s *Store) Apply(t *txn.Transaction) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mask := updateShards(t)
+	s.lockShards(&mask)
+	s.txMu.Lock()
 	if prev, dup := s.txs[t.Dot]; dup {
 		// Absorb any commit stamps the re-delivery carries: a replica that
 		// missed the promotion broadcast still learns the concrete commit
@@ -106,26 +232,41 @@ func (s *Store) Apply(t *txn.Transaction) error {
 				prev.Commit = stamps
 			}
 		}
+		s.txMu.Unlock()
+		s.unlockShards(&mask)
 		return ErrDuplicate
 	}
+	// Register the dot before touching journals: reattach scans triggered by
+	// concurrent Seeds of *other* shards must not race this transaction into
+	// a journal twice (they cannot — every shard t touches is locked — but
+	// the dot filter itself must win any concurrent duplicate delivery).
+	s.txs[t.Dot] = t
+	s.txMu.Unlock()
+
+	longest := 0
 	for i, u := range t.Updates {
-		obj := s.objects[u.Object]
+		sh := &s.shards[shardIndex(u.Object)]
+		obj := sh.objects[u.Object]
 		if obj == nil {
 			if s.cacheMode && t.Origin != s.self {
 				continue
 			}
 			base, err := crdt.New(u.Kind)
 			if err != nil {
+				s.forgetTx(t.Dot)
+				s.unlockShards(&mask)
 				return fmt.Errorf("apply %s: %w", t.Dot, err)
 			}
 			obj = &object{kind: u.Kind, base: base}
-			s.objects[u.Object] = obj
+			sh.objects[u.Object] = obj
 			// Updates from earlier transactions that were skipped while the
-			// object did not exist re-attach now (t itself is not yet in
-			// s.txs, so its own updates are not double-counted).
-			s.reattachLocked(u.Object, obj)
+			// object did not exist re-attach now; t's own updates are
+			// excluded (this loop appends them with their original order).
+			s.reattachLocked(u.Object, obj, t.Dot)
 		}
 		if obj.kind != u.Kind {
+			s.forgetTx(t.Dot)
+			s.unlockShards(&mask)
 			return fmt.Errorf("apply %s: object %s is %v, update is %v: %w",
 				t.Dot, u.Object, obj.kind, u.Kind, crdt.ErrKindMismatch)
 		}
@@ -136,20 +277,56 @@ func (s *Store) Apply(t *txn.Transaction) error {
 			continue // folded into the base as a group-visible transaction
 		}
 		obj.journal = append(obj.journal, entry{tx: t, idx: i})
+		if n := len(obj.journal); n > longest {
+			longest = n
+		}
 	}
-	s.txs[t.Dot] = t
+	s.unlockShards(&mask)
+	s.maybeAutoAdvance(longest)
 	return nil
+}
+
+// forgetTx drops a dot registered by a failing Apply.
+func (s *Store) forgetTx(dot vclock.Dot) {
+	s.txMu.Lock()
+	delete(s.txs, dot)
+	s.txMu.Unlock()
+}
+
+// lockTxShards looks the transaction up, write-locks every shard holding one
+// of its journal entries (ordering the mutation with concurrent readers of
+// those objects, who evaluate visibility from the commit stamps) and
+// re-checks the lookup under txMu. The caller must call unlock() when done
+// with the returned transaction, and must not retain it past that.
+func (s *Store) lockTxShards(dot vclock.Dot) (*txn.Transaction, func(), error) {
+	s.txMu.RLock()
+	t, ok := s.txs[dot]
+	s.txMu.RUnlock()
+	if !ok {
+		return nil, nil, ErrUnknownTx
+	}
+	mask := updateShards(t)
+	s.lockShards(&mask)
+	s.txMu.Lock()
+	if t, ok = s.txs[dot]; !ok { // dropped by a concurrent Advance
+		s.txMu.Unlock()
+		s.unlockShards(&mask)
+		return nil, nil, ErrUnknownTx
+	}
+	return t, func() {
+		s.txMu.Unlock()
+		s.unlockShards(&mask)
+	}, nil
 }
 
 // Promote records that DC dc accepted transaction dot at timestamp ts,
 // turning a symbolic commit concrete (or adding an equivalent commit vector).
 func (s *Store) Promote(dot vclock.Dot, dc int, ts uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.txs[dot]
-	if !ok {
-		return fmt.Errorf("promote %s: %w", dot, ErrUnknownTx)
+	t, unlock, err := s.lockTxShards(dot)
+	if err != nil {
+		return fmt.Errorf("promote %s: %w", dot, err)
 	}
+	defer unlock()
 	stamps, err := t.Commit.Add(dc, ts)
 	if err != nil {
 		return err
@@ -165,12 +342,11 @@ func (s *Store) Promote(dot vclock.Dot, dc int, ts uint64) error {
 // vectors those transactions have been assigned meanwhile (paper §3.7).
 // Going through the store keeps the mutation ordered with concurrent reads.
 func (s *Store) ResolveSnapshot(dot vclock.Dot, extra vclock.Vector) (*txn.Transaction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.txs[dot]
-	if !ok {
-		return nil, fmt.Errorf("resolve %s: %w", dot, ErrUnknownTx)
+	t, unlock, err := s.lockTxShards(dot)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", dot, err)
 	}
+	defer unlock()
 	t.Snapshot = t.Snapshot.Join(extra)
 	return t.Clone(), nil
 }
@@ -179,8 +355,8 @@ func (s *Store) ResolveSnapshot(dot vclock.Dot, extra vclock.Vector) (*txn.Trans
 // the given dot, if any. A copy is returned because the canonical record's
 // commit stamps keep evolving under the store lock.
 func (s *Store) Transaction(dot vclock.Dot) (*txn.Transaction, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.txMu.RLock()
+	defer s.txMu.RUnlock()
 	t, ok := s.txs[dot]
 	if !ok {
 		return nil, false
@@ -190,81 +366,19 @@ func (s *Store) Transaction(dot vclock.Dot) (*txn.Transaction, bool) {
 
 // Contains reports whether the store has applied the transaction dot.
 func (s *Store) Contains(dot vclock.Dot) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.txMu.RLock()
+	defer s.txMu.RUnlock()
 	_, ok := s.txs[dot]
 	return ok
 }
 
 // Has reports whether the store holds any state for the object.
 func (s *Store) Has(id txn.ObjectID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.objects[id]
 	return ok
-}
-
-// ReadOptions tune a materialising read.
-type ReadOptions struct {
-	// ExtraVisible admits journal entries from these specific transactions
-	// even when the snapshot vector does not cover them. Peer groups use it
-	// to expose the EPaxos visibility log (paper §5.1.4).
-	ExtraVisible map[vclock.Dot]bool
-	// SelfVisible controls the Read-My-Writes guarantee: when true (the
-	// usual setting for edge nodes), transactions originated by this store's
-	// node are always visible.
-	SelfVisible bool
-	// Reject masks journal entries whose transaction fails the predicate —
-	// the read-time half of ACL enforcement (paper §6.4: "object versions
-	// are visible according to the local copy of the ACL"). The predicate
-	// must not call back into the store.
-	Reject func(*txn.Transaction) bool
-}
-
-// Read materialises the object at the causal cut at. Entries are replayed in
-// journal (arrival) order, which respects causality because the visibility
-// layer delivers transactions causally; concurrent entries commute by CRDT
-// construction. Returns ErrNotFound for unknown objects.
-func (s *Store) Read(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (crdt.Object, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, ok := s.objects[id]
-	if !ok {
-		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
-	}
-	out := obj.base.Clone()
-	for _, e := range obj.journal {
-		if !s.entryVisible(e, at, opts) {
-			continue
-		}
-		if err := out.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
-			return nil, fmt.Errorf("read %s: replay %s: %w", id, e.tx.Dot, err)
-		}
-	}
-	return out, nil
-}
-
-// Value is Read followed by Object.Value.
-func (s *Store) Value(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (any, error) {
-	obj, err := s.Read(id, at, opts)
-	if err != nil {
-		return nil, err
-	}
-	return obj.Value(), nil
-}
-
-// entryVisible implements the visibility predicate for one journal entry.
-func (s *Store) entryVisible(e entry, at vclock.Vector, opts ReadOptions) bool {
-	if opts.Reject != nil && opts.Reject(e.tx) {
-		return false
-	}
-	if opts.SelfVisible && e.tx.Origin == s.self {
-		return true
-	}
-	if opts.ExtraVisible[e.tx.Dot] {
-		return true
-	}
-	return e.tx.VisibleAt(at)
 }
 
 // Seed installs a pre-materialised base version for an object, replacing any
@@ -274,8 +388,9 @@ func (s *Store) entryVisible(e entry, at vclock.Vector, opts ReadOptions) bool {
 // without a concrete commit yet); their re-delivery is skipped for this
 // object.
 func (s *Store) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded ...vclock.Dot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	obj := &object{kind: base.Kind(), base: base.Clone(), baseVec: at.Clone()}
 	if len(folded) > 0 {
 		obj.folded = make(map[vclock.Dot]bool, len(folded))
@@ -283,21 +398,27 @@ func (s *Store) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded
 			obj.folded[d] = true
 		}
 	}
-	s.objects[id] = obj
-	s.reattachLocked(id, obj)
+	sh.objects[id] = obj
+	s.reattachLocked(id, obj, vclock.Dot{})
 }
 
 // reattachLocked replays updates for id from already-recorded transactions
 // whose update was skipped when the cache did not hold the object (Apply
 // keeps the full transaction either way). Entries are ordered by dot, which
 // is consistent with causality because nodes witness every dot they apply.
-func (s *Store) reattachLocked(id txn.ObjectID, obj *object) {
+// skip names a transaction being applied by the caller, whose updates it
+// appends itself. The caller holds the shard lock for id.
+func (s *Store) reattachLocked(id txn.ObjectID, obj *object, skip vclock.Dot) {
 	type pending struct {
 		t   *txn.Transaction
 		idx int
 	}
 	var todo []pending
+	s.txMu.RLock()
 	for _, t := range s.txs {
+		if t.Dot == skip {
+			continue
+		}
 		if t.VisibleAt(obj.baseVec) || obj.folded[t.Dot] {
 			continue
 		}
@@ -307,6 +428,7 @@ func (s *Store) reattachLocked(id txn.ObjectID, obj *object) {
 			}
 		}
 	}
+	s.txMu.RUnlock()
 	sort.Slice(todo, func(i, j int) bool {
 		if c := todo[i].t.Dot.Compare(todo[j].t.Dot); c != 0 {
 			return c < 0
@@ -320,62 +442,34 @@ func (s *Store) reattachLocked(id txn.ObjectID, obj *object) {
 
 // BaseVector returns the causal cut of the object's base version.
 func (s *Store) BaseVector(id txn.ObjectID) (vclock.Vector, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, ok := sh.objects[id]
 	if !ok {
 		return nil, false
 	}
 	return obj.baseVec.Clone(), true
 }
 
-// Advance folds every journal entry visible at cut into each object's base
-// version and truncates the journals (paper §4.1: "occasionally, the system
-// advances the base version"). Transactions whose every update was folded
-// everywhere they appear are released from the dot index only if keepDots is
-// false; keeping dots preserves duplicate filtering across migration at the
-// cost of memory.
-func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	folded := make(map[vclock.Dot]bool)
-	for id, obj := range s.objects {
-		kept := obj.journal[:0]
-		for _, e := range obj.journal {
-			if e.tx.VisibleAt(cut) {
-				if err := obj.base.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
-					return fmt.Errorf("advance %s: %w", id, err)
-				}
-				folded[e.tx.Dot] = true
-				continue
-			}
-			kept = append(kept, e)
-		}
-		obj.journal = kept
-		obj.baseVec = obj.baseVec.Join(cut)
-	}
-	if !keepDots {
-		for dot := range folded {
-			delete(s.txs, dot)
-		}
-	}
-	return nil
-}
-
 // Evict drops the object's state entirely (cache eviction at an edge node).
 func (s *Store) Evict(id txn.ObjectID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.objects, id)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.objects, id)
 }
 
 // Objects returns the ids of every stored object, in unspecified order.
 func (s *Store) Objects() []txn.ObjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]txn.ObjectID, 0, len(s.objects))
-	for id := range s.objects {
-		out = append(out, id)
+	var out []txn.ObjectID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.objects {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -383,35 +477,56 @@ func (s *Store) Objects() []txn.ObjectID {
 // JournalLen returns the number of pending journal entries for an object;
 // zero for unknown objects. Exposed for tests and cache accounting.
 func (s *Store) JournalLen(id txn.ObjectID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, ok := sh.objects[id]
 	if !ok {
 		return 0
 	}
 	return len(obj.journal)
 }
 
+// MaxJournalLen returns the longest journal across every stored object —
+// the figure the automatic advancement policy bounds.
+func (s *Store) MaxJournalLen() int {
+	longest := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.objects {
+			if len(obj.journal) > longest {
+				longest = len(obj.journal)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return longest
+}
+
 // DebugJournal lists each journal entry of an object as "dot@commit(snap)"
 // plus the recorded transaction dots — test diagnostics only.
 func (s *Store) DebugJournal(id txn.ObjectID) (entries []string, txs []string) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if obj, ok := s.objects[id]; ok {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	if obj, ok := sh.objects[id]; ok {
 		for _, e := range obj.journal {
 			entries = append(entries, fmt.Sprintf("%s@%v(snap %v)", e.tx.Dot, e.tx.Commit, e.tx.Snapshot))
 		}
 	}
+	sh.mu.RUnlock()
+	s.txMu.RLock()
 	for dot, t := range s.txs {
 		txs = append(txs, fmt.Sprintf("%s@%v", dot, t.Commit))
 	}
+	s.txMu.RUnlock()
 	return entries, txs
 }
 
 // TxCount returns the number of transactions tracked for duplicate
 // filtering.
 func (s *Store) TxCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.txMu.RLock()
+	defer s.txMu.RUnlock()
 	return len(s.txs)
 }

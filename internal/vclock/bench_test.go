@@ -1,0 +1,82 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchVectors builds a dominated/dominating pair of n-DC vectors.
+func benchVectors(n int) (lo, hi Vector) {
+	lo = NewVector(n)
+	hi = NewVector(n)
+	for i := 0; i < n; i++ {
+		lo[i] = uint64(i * 3)
+		hi[i] = uint64(i*3 + 1)
+	}
+	return lo, hi
+}
+
+func BenchmarkVectorLEQ(b *testing.B) {
+	for _, n := range []int{3, 16, 64} {
+		b.Run(fmt.Sprintf("dcs=%d", n), func(b *testing.B) {
+			lo, hi := benchVectors(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !lo.LEQ(hi) {
+					b.Fatal("lo must be LEQ hi")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVectorJoin(b *testing.B) {
+	for _, n := range []int{3, 16, 64} {
+		b.Run(fmt.Sprintf("dcs=%d", n), func(b *testing.B) {
+			lo, hi := benchVectors(n)
+			v := lo.Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v = v.Join(hi)
+			}
+		})
+	}
+}
+
+func BenchmarkVectorJoinTrailingZeroes(b *testing.B) {
+	// The dominated operand is shorter; the dominating one carries trailing
+	// zeroes, which Join must absorb without growing the receiver.
+	short := Vector{5, 5, 5}
+	long := Vector{1, 2, 3, 0, 0, 0, 0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		short = short.Join(long)
+	}
+}
+
+func BenchmarkVectorLUB(b *testing.B) {
+	b.Run("dominated", func(b *testing.B) {
+		lo, hi := benchVectors(16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := LUB(hi, lo); len(out) == 0 {
+				b.Fatal("empty LUB")
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		a, c := benchVectors(16)
+		a = a.Clone()
+		a[0], c[0] = 10, 0 // make them concurrent
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := LUB(a, c); len(out) == 0 {
+				b.Fatal("empty LUB")
+			}
+		}
+	})
+}

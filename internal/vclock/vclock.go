@@ -61,8 +61,17 @@ func (v Vector) Clone() Vector {
 
 // LEQ reports whether v ≤ o componentwise (missing components are zero).
 func (v Vector) LEQ(o Vector) bool {
-	for i, ts := range v {
-		if ts > o.Get(i) {
+	n := len(v)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if v[i] > o[i] {
+			return false
+		}
+	}
+	for i := n; i < len(v); i++ {
+		if v[i] > 0 {
 			return false
 		}
 	}
@@ -80,11 +89,26 @@ func (v Vector) Concurrent(o Vector) bool { return !v.LEQ(o) && !o.LEQ(v) }
 
 // Join sets v to the least upper bound (componentwise maximum) of v and o,
 // returning the possibly-grown vector. The paper calls this the LUB.
+// The receiver only grows (allocates) when o has a non-zero component
+// beyond v's length.
 func (v Vector) Join(o Vector) Vector {
 	if len(o) > len(v) {
-		grown := make(Vector, len(o))
-		copy(grown, v)
-		v = grown
+		// Grow only when a component past len(v) is actually non-zero;
+		// trailing zeroes are semantically absent.
+		grow := false
+		for i := len(v); i < len(o); i++ {
+			if o[i] > 0 {
+				grow = true
+				break
+			}
+		}
+		if grow {
+			grown := make(Vector, len(o))
+			copy(grown, v)
+			v = grown
+		} else {
+			o = o[:len(v)]
+		}
 	}
 	for i, ts := range o {
 		if ts > v[i] {
@@ -95,7 +119,17 @@ func (v Vector) Join(o Vector) Vector {
 }
 
 // LUB returns the least upper bound of a and b without mutating either.
-func LUB(a, b Vector) Vector { return a.Clone().Join(b) }
+// When one operand already dominates the other, it is returned as-is (no
+// clone): treat the result as read-only, or Clone it before mutating.
+func LUB(a, b Vector) Vector {
+	if b.LEQ(a) {
+		return a
+	}
+	if a.LEQ(b) {
+		return b
+	}
+	return a.Clone().Join(b)
+}
 
 // Sum returns the total number of transactions covered by the cut. It is a
 // convenient scalar progress measure for logs and tests.

@@ -307,3 +307,44 @@ func TestCommitVisibilityImpliesJoinIntoMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVectorJoinTrailingZeroesNoGrowth(t *testing.T) {
+	v := Vector{5, 5, 5}
+	out := v.Join(Vector{1, 2, 3, 0, 0})
+	if len(out) != 3 {
+		t.Fatalf("Join grew to %d components over trailing zeroes, want 3", len(out))
+	}
+	if !out.Equal(Vector{5, 5, 5}) {
+		t.Fatalf("Join = %v, want [5 5 5]", out)
+	}
+	if got := v.Join(Vector{1, 2, 3, 0, 7}); len(got) != 5 || got[4] != 7 {
+		t.Fatalf("Join with real 5th component = %v, want length 5 ending in 7", got)
+	}
+}
+
+func TestLUBDominanceFastPath(t *testing.T) {
+	lo := Vector{1, 2, 3}
+	hi := Vector{4, 5, 6}
+	// The dominating operand may be returned as-is (documented aliasing);
+	// either way the value must be the componentwise max and the dominated
+	// operand must be untouched.
+	for _, tc := range [][2]Vector{{lo, hi}, {hi, lo}} {
+		out := LUB(tc[0], tc[1])
+		if !out.Equal(hi) {
+			t.Fatalf("LUB(%v, %v) = %v, want %v", tc[0], tc[1], out, hi)
+		}
+	}
+	if !lo.Equal(Vector{1, 2, 3}) || !hi.Equal(Vector{4, 5, 6}) {
+		t.Fatalf("LUB mutated its operands: lo=%v hi=%v", lo, hi)
+	}
+	// Concurrent operands still get a fresh vector.
+	a, b := Vector{9, 0}, Vector{0, 9}
+	out := LUB(a, b)
+	if !out.Equal(Vector{9, 9}) {
+		t.Fatalf("LUB(%v, %v) = %v, want [9 9]", a, b, out)
+	}
+	out[0] = 77
+	if a[0] != 9 || b.Get(0) != 0 {
+		t.Fatal("concurrent LUB aliased an operand")
+	}
+}
