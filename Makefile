@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check bench-store bench-vclock bench-fig4
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs
 
 all: check
 
@@ -10,16 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The store and dc packages carry the concurrency-heavy code (sharded store
-# locks, background base advancement, ClockSI 2PC); run them under the race
-# detector on every check.
+# The store, dc, edge and obs packages carry the concurrency-heavy code
+# (sharded store locks, background base advancement, ClockSI 2PC, lock-free
+# edge stats, the event bus); run them under the race detector on every
+# check.
 test-race:
-	$(GO) test -race ./internal/store ./internal/dc
+	$(GO) test -race ./internal/store ./internal/dc ./internal/edge ./internal/obs
 
 vet:
 	$(GO) vet ./...
 
 check: build vet test test-race
+
+# The continuous-integration gate: static checks, racy packages under the
+# race detector, then everything else.
+ci: vet test-race build test
 
 # Read-path microbenchmarks: materialisation cache on/off over journal
 # depths, parallel readers over shards, incremental advancing-cut reads.
@@ -32,3 +37,9 @@ bench-vclock:
 # Repository-level figure benchmarks (reduced configurations).
 bench-fig4:
 	$(GO) test -run xxx -bench BenchmarkFig4 -benchtime 3x .
+
+# Instrumentation overhead on the cached read path: obs=false vs obs=true
+# must stay within a few percent of each other (see DESIGN.md
+# § Observability).
+bench-obs:
+	$(GO) test -run xxx -bench BenchmarkStoreReadObs -benchmem ./internal/store

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"colony/internal/bench"
@@ -41,6 +42,7 @@ func run(args []string) error {
 		duration   = fs.Duration("duration", 70*time.Second, "timeline length in model time (fig5-7)")
 		seed       = fs.Int64("seed", 1, "workload seed")
 		quick      = fs.Bool("quick", false, "small configurations for a fast sanity run")
+		obsDump    = fs.Bool("obs", true, "print the per-run instrumentation snapshot after each fig4 point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +81,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		printFig4(pts)
+		printFig4(pts, *obsDump)
 	case "fig5":
 		res, err := bench.RunFig5(tlcfg, progress)
 		if err != nil {
@@ -112,7 +114,7 @@ func run(args []string) error {
 		}
 		fig5 = res5
 		if cmd == "all" {
-			printFig4(fig4)
+			printFig4(fig4, *obsDump)
 			printTimeline("Figure 5 — impact of a DC disconnection", fig5)
 			res6, err := bench.RunFig6(tlcfg, progress)
 			if err != nil {
@@ -185,7 +187,7 @@ func clientSweep(max int) []int {
 	return out
 }
 
-func printFig4(pts []bench.Fig4Point) {
+func printFig4(pts []bench.Fig4Point, obsDump bool) {
 	fmt.Println("\n== Figure 4 — performance of Colony (throughput vs response time, log-log in the paper) ==")
 	fmt.Printf("%-18s %8s %14s %10s %10s %10s %7s %7s %7s\n",
 		"config", "clients", "tput(txn/s)", "mean(ms)", "p95(ms)", "p99(ms)", "hit%", "grp%", "dc%")
@@ -201,6 +203,23 @@ func printFig4(pts []bench.Fig4Point) {
 			p.Label(), p.Clients, p.ThroughputTx,
 			p.Latency.MeanMs, p.Latency.P95Ms, p.Latency.P99Ms,
 			p.Hits.Cache, p.Hits.Group, p.Hits.DC)
+	}
+	if !obsDump {
+		return
+	}
+	// Per-run instrumentation snapshots — the same figures colony-server
+	// serves at /metrics, captured once per deployment after the run.
+	fmt.Println("\n== Figure 4 — per-run instrumentation snapshots ==")
+	for _, p := range pts {
+		fmt.Printf("\nobs[%s, %d clients]:\n", p.Label(), p.Clients)
+		printIndented(p.Obs.String())
+	}
+}
+
+// printIndented writes a multi-line dump with a two-space indent.
+func printIndented(s string) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Printf("  %s\n", line)
 	}
 }
 

@@ -5,12 +5,18 @@
 // the paper's real deployment maps each of these components to a Docker
 // container (§7.2).
 //
-//	colony-server -dcs 3 -k 2 -pops 2 -scale 0.1
+// The deployment's instrumentation registry is served over HTTP:
+// Prometheus-style text at /metrics, expvar JSON at /debug/vars.
+//
+//	colony-server -dcs 3 -k 2 -pops 2 -scale 0.1 -metrics :8080
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,14 +36,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("colony-server", flag.ContinueOnError)
 	var (
-		dcs    = fs.Int("dcs", 3, "number of core-cloud data centres")
-		k      = fs.Int("k", 2, "K-stability threshold for edge visibility")
-		shards = fs.Int("shards", 4, "storage servers per DC")
-		pops   = fs.Int("pops", 1, "peer-group parents (PoP servers) to host")
-		scale  = fs.Float64("scale", 0.1, "latency scale")
-		every  = fs.Duration("status", 2*time.Second, "status report period")
-		deny   = fs.Bool("deny-by-default", false, "ACL denies unlisted objects")
-		adv    = fs.Int("auto-advance", 256, "journal length that triggers background base advancement (0 disables)")
+		dcs     = fs.Int("dcs", 3, "number of core-cloud data centres")
+		k       = fs.Int("k", 2, "K-stability threshold for edge visibility")
+		shards  = fs.Int("shards", 4, "storage servers per DC")
+		pops    = fs.Int("pops", 1, "peer-group parents (PoP servers) to host")
+		scale   = fs.Float64("scale", 0.1, "latency scale")
+		every   = fs.Duration("status", 2*time.Second, "status report period")
+		deny    = fs.Bool("deny-by-default", false, "ACL denies unlisted objects")
+		adv     = fs.Int("auto-advance", 256, "journal length that triggers background base advancement (0 disables)")
+		metrics = fs.String("metrics", ":8080", "HTTP address for /metrics and /debug/vars (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +66,7 @@ func run(args []string) error {
 		p := group.NewParent(cluster.Network(), group.ParentConfig{
 			Name: fmt.Sprintf("pop%d", i),
 			DC:   cluster.DCName(i % *dcs),
+			Obs:  cluster.Obs(),
 
 			AutoAdvanceThreshold: *adv,
 		})
@@ -68,6 +76,21 @@ func run(args []string) error {
 		}
 		defer p.Close()
 		parents = append(parents, p)
+	}
+
+	if *metrics != "" {
+		reg := cluster.Obs()
+		reg.PublishExpvar("colony")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	}
 
 	fmt.Printf("colony-server: %d DCs (K=%d, %d shards each), %d PoPs, scale %.2f\n",
@@ -81,9 +104,19 @@ func run(args []string) error {
 	for {
 		select {
 		case <-ticker.C:
-			sent, delivered := cluster.Network().Stats()
-			fmt.Printf("[%s] net: %d sent / %d delivered\n",
-				time.Now().Format("15:04:05"), sent, delivered)
+			snap := cluster.Obs().Snapshot()
+			fmt.Printf("[%s] net: %d sent / %d delivered / %d dropped / %d in flight\n",
+				time.Now().Format("15:04:05"),
+				snap.Counters["net.sent"], snap.Counters["net.delivered"],
+				snap.Counters["net.dropped"], snap.Gauges["net.in_flight"])
+			if rate := snap.CacheHitRate(); rate >= 0 {
+				fmt.Printf("  cache: %.1f%% hit rate, max journal %d, %d base advancements\n",
+					100*rate, snap.Gauges["store.max_journal_len"], snap.Counters["store.base_advance"])
+			}
+			if kst, ok := snap.Histograms["edge.commit_to_kstable_ns"]; ok && kst.Count > 0 {
+				fmt.Printf("  commit→K-stable: p50=%s p95=%s p99=%s (n=%d)\n",
+					time.Duration(kst.P50), time.Duration(kst.P95), time.Duration(kst.P99), kst.Count)
+			}
 			for i := 0; i < cluster.NumDCs(); i++ {
 				d := cluster.DC(i)
 				fmt.Printf("  %s: state=%v stable=%v log=%d masked=%d\n",

@@ -109,6 +109,7 @@ func AblationCommitVariant(members, commits int, scale float64, seed int64) ([]C
 		}
 		parent := group.NewParent(cluster.Network(), group.ParentConfig{
 			Name: "pop0", DC: cluster.DCName(0), RetryInterval: scaled(10*time.Millisecond, scale),
+			Obs: cluster.Obs(),
 		})
 		if err := parent.Connect(); err != nil {
 			parent.Close()

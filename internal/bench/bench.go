@@ -299,6 +299,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 				Name:          fmt.Sprintf("pop%d", g),
 				DC:            cluster.DCName(g % cfg.DCs),
 				RetryInterval: scaled(20*time.Millisecond, cfg.Scale),
+				Obs:           cluster.Obs(),
 
 				AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 			})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"colony/internal/chat"
+	"colony/internal/obs"
 )
 
 // Fig4Config parameterises the throughput/response-time study (Figure 4):
@@ -39,6 +40,9 @@ type Fig4Point struct {
 	ThroughputTx float64 // committed transactions per second
 	Latency      LatencyStats
 	Hits         HitRates
+	// Obs is the deployment-wide instrumentation snapshot taken after the
+	// run (wall-clock durations: divide by Scale for model time).
+	Obs obs.Snapshot
 }
 
 // Label renders the configuration like the paper's legend.
@@ -120,6 +124,7 @@ func runFig4Point(cfg Fig4Config, mode Mode, dcs, clients int) (Fig4Point, error
 		ThroughputTx: float64(len(samples)) / modelSeconds,
 		Latency:      Stats(samples),
 		Hits:         ComputeHitRates(samples),
+		Obs:          dep.Cluster.Obs().Snapshot(),
 	}
 	return pt, nil
 }

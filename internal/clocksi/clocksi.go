@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/store"
 	"colony/internal/txn"
 	"colony/internal/vclock"
@@ -174,6 +175,10 @@ func (s *Shard) Advance(cut vclock.Vector, keepDots bool) error {
 // before the shard starts serving.
 func (s *Shard) SetAutoAdvance(p store.AdvancePolicy) { s.store.SetAutoAdvance(p) }
 
+// SetObs attaches the deployment's observability registry to the shard's
+// store; call before the shard starts serving.
+func (s *Shard) SetObs(r *obs.Registry) { s.store.SetObs(r) }
+
 // MaxJournalLen reports the shard's longest object journal.
 func (s *Shard) MaxJournalLen() int { return s.store.MaxJournalLen() }
 
@@ -293,6 +298,14 @@ func (c *Coordinator) Advance(cut vclock.Vector, keepDots bool) error {
 func (c *Coordinator) SetAutoAdvance(p store.AdvancePolicy) {
 	for _, s := range c.shards {
 		s.SetAutoAdvance(p)
+	}
+}
+
+// SetObs attaches the deployment's observability registry to every shard's
+// store; call before the DC starts serving.
+func (c *Coordinator) SetObs(r *obs.Registry) {
+	for _, s := range c.shards {
+		s.SetObs(r)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"colony/internal/acl"
 	"colony/internal/dc"
+	"colony/internal/obs"
 	"colony/internal/security"
 	"colony/internal/simnet"
 )
@@ -71,6 +72,10 @@ type ClusterConfig struct {
 	// storage shard via background base advancement (see dc.Config); 0
 	// disables.
 	AutoAdvanceThreshold int
+	// Obs is the deployment's instrumentation registry. Nil creates a fresh
+	// registry, so every deployment is always observable via Cluster.Obs();
+	// supply one to aggregate several clusters into a single exposition.
+	Obs *obs.Registry
 }
 
 // Cluster is a running Colony deployment: the core-cloud DC mesh plus the
@@ -104,7 +109,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if scale == 0 {
 		scale = 1.0
 	}
-	net := simnet.New(simnet.Config{Scale: scale, Seed: cfg.Seed})
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	net := simnet.New(simnet.Config{Scale: scale, Seed: cfg.Seed, Obs: cfg.Obs})
 	c := &Cluster{
 		cfg:      cfg,
 		net:      net,
@@ -125,6 +133,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Heartbeat:   cfg.Heartbeat,
 			ServiceTime: cfg.ServiceTime,
 			Workers:     cfg.Workers,
+			Obs:         cfg.Obs,
 
 			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})
@@ -158,6 +167,11 @@ func (c *Cluster) Close() {
 // Network exposes the simulated network (for fault injection in tests and
 // experiments).
 func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Obs exposes the deployment's instrumentation registry: every layer (store,
+// edge caches, DCs, groups, network) reports into it, so one Snapshot covers
+// the whole deployment.
+func (c *Cluster) Obs() *obs.Registry { return c.cfg.Obs }
 
 // DC returns data centre i.
 func (c *Cluster) DC(i int) *dc.DC { return c.dcs[i] }

@@ -93,6 +93,7 @@ func (c *Cluster) Connect(opts ConnectOptions) (*Connection, error) {
 		RetryInterval: opts.RetryInterval,
 		MaxUnacked:    opts.MaxUnacked,
 		CallTimeout:   opts.CallTimeout,
+		Obs:           c.cfg.Obs,
 
 		AutoAdvanceThreshold: opts.AutoAdvanceThreshold,
 	})

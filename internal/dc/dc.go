@@ -17,6 +17,7 @@ import (
 
 	"colony/internal/clocksi"
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/replication"
 	"colony/internal/simnet"
 	"colony/internal/store"
@@ -71,6 +72,9 @@ type Config struct {
 	// rather than an infinitely fast simulator.
 	ServiceTime time.Duration
 	Workers     int
+	// Obs, when non-nil, instruments the DC (edge commit acceptance, push
+	// batch sizes, inter-DC propagation latency) and its storage shards.
+	Obs *obs.Registry
 }
 
 // subscription tracks one edge node's (or group sync point's) interest set.
@@ -108,6 +112,13 @@ type DC struct {
 
 	capacity chan struct{} // nil when the service-time model is off
 	journal  *wal.Log      // nil when persistence is off
+
+	// Instrumentation handles (nil-safe no-ops when Config.Obs is unset).
+	obsEdgeCommits *obs.Counter
+	obsEdgeNacks   *obs.Counter
+	obsReplRx      *obs.Counter
+	obsPushBatch   *obs.Histogram
+	obsReplLat     *obs.Histogram
 
 	stopHeartbeat chan struct{}
 	heartbeatDone chan struct{}
@@ -148,6 +159,14 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		masked:        make(map[vclock.Dot]*txn.Transaction),
 		stopHeartbeat: make(chan struct{}),
 		heartbeatDone: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		d.obsEdgeCommits = cfg.Obs.Counter("dc.edge_commits")
+		d.obsEdgeNacks = cfg.Obs.Counter("dc.edge_nacks")
+		d.obsReplRx = cfg.Obs.Counter("dc.repl_rx")
+		d.obsPushBatch = cfg.Obs.Histogram("dc.push_batch_txs")
+		d.obsReplLat = cfg.Obs.Histogram("dc.repl_propagation_ns")
+		coord.SetObs(cfg.Obs)
 	}
 	if cfg.AutoAdvanceThreshold > 0 {
 		coord.SetAutoAdvance(store.AdvancePolicy{
@@ -510,7 +529,7 @@ func (d *DC) replMsgLocked(t *txn.Transaction) ([]string, wire.ReplTx) {
 	for _, p := range d.peers {
 		peers = append(peers, p)
 	}
-	return peers, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone()}
+	return peers, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone(), SentAt: time.Now()}
 }
 
 // antiEntropyLocked finds own-accepted transactions the heartbeat sender is
@@ -527,7 +546,7 @@ func (d *DC) antiEntropyLocked(m wire.ReplHeartbeat) ([]wire.ReplTx, string) {
 		if !ours || ts <= m.State.Get(d.cfg.Index) {
 			continue
 		}
-		out = append(out, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone()})
+		out = append(out, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone(), SentAt: time.Now()})
 		if len(out) >= 256 { // bound each round; the next heartbeat continues
 			break
 		}
@@ -542,6 +561,7 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
+		d.obsEdgeNacks.Inc()
 		return wire.EdgeCommitNack{Dot: t.Dot}
 	}
 	// Duplicate (e.g. re-sent after migration): re-ack with the stamps this
@@ -560,6 +580,7 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 	if !t.Snapshot.LEQ(d.state) {
 		missing := d.state.Clone()
 		d.mu.Unlock()
+		d.obsEdgeNacks.Inc()
 		return wire.EdgeCommitNack{Dot: t.Dot, Missing: missing}
 	}
 	d.lamport.Witness(t.Dot.Seq)
@@ -584,8 +605,10 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 				return ack
 			}
 		}
+		d.obsEdgeNacks.Inc()
 		return wire.EdgeCommitNack{Dot: t.Dot}
 	}
+	d.obsEdgeCommits.Inc()
 	ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
 	for dc, ts := range stamps {
 		ack.DCIndex, ack.Ts = dc, ts
@@ -598,6 +621,10 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 // receiveReplicated applies transactions replicated from a peer DC once
 // their causal dependencies are satisfied.
 func (d *DC) receiveReplicated(m wire.ReplTx) {
+	d.obsReplRx.Inc()
+	if !m.SentAt.IsZero() {
+		d.obsReplLat.Observe(int64(time.Since(m.SentAt)))
+	}
 	d.mesh.ObservePeer(m.From, m.State)
 	d.mu.Lock()
 	if d.closed {
@@ -789,6 +816,7 @@ func (d *DC) updateSubscribersLocked() {
 			continue
 		}
 		msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
+		d.obsPushBatch.Observe(int64(len(batch)))
 		if err := d.node.Send(sub.node, msg); err != nil {
 			// Subscriber unreachable (offline or migrated): leave the cursor
 			// in place; the next trigger retries, and a Resume subscribe

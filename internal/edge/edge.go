@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/simnet"
 	"colony/internal/store"
 	"colony/internal/txn"
@@ -86,6 +88,44 @@ type Config struct {
 	// whenever an object's journal outgrows this many entries, bounding
 	// memory on long-lived cache entries. 0 disables.
 	AutoAdvanceThreshold int
+	// Obs attaches the deployment's observability registry: the node records
+	// edge.* counters, commit→ack and commit→K-stable latency histograms,
+	// and lifecycle events, and its store records store.* metrics. Nil
+	// disables instrumentation at near-zero cost.
+	Obs *obs.Registry
+}
+
+// Hooks bundles every interception point of an edge node. The group layer
+// (and tests) install them in one call instead of through six separate
+// setters; unset fields select the default behaviour. SetHooks replaces the
+// whole set atomically, so a caller that wants to change one hook while
+// keeping others must pass the full desired set (read the current set with
+// Hooks first if needed).
+type Hooks struct {
+	// Commit intercepts locally committed transactions; the default
+	// pipeline queues them for the connected DC, a peer group redirects
+	// them through EPaxos and its sync point.
+	Commit CommitHook
+	// Fetch overrides cache-miss resolution (collaborative cache); the
+	// default asks the connected DC.
+	Fetch Fetcher
+	// Extra handles messages the edge layer does not understand
+	// (peer-group and consensus traffic addressed to this node).
+	Extra func(from string, msg any) any
+	// Push runs after every integrated push batch; a group parent forwards
+	// stable updates to its members with it.
+	Push func(wire.PushTxs)
+	// Ack runs after every DC commit acknowledgement; a group parent (sync
+	// point) distributes concrete commit descriptors with it.
+	Ack func(wire.EdgeCommitAck)
+	// ReadFilter masks transactions from this node's reads — the edge's
+	// local ACL check (paper §6.4).
+	ReadFilter func(*txn.Transaction) bool
+	// Visibility supplies the group visibility log: reads treat the
+	// returned dots as visible in addition to the snapshot cut (paper
+	// §5.1.4). The returned map must be treated as immutable
+	// (copy-on-write on the group side).
+	Visibility func() map[vclock.Dot]bool
 }
 
 // Stats are cumulative counters exposed for experiments.
@@ -98,6 +138,32 @@ type Stats struct {
 	TxAcked     int64
 	TxNacked    int64
 }
+
+// nodeCounters are the node's live counters. They are atomics — read paths
+// bump them without taking the node lock, and Stats() assembles a consistent
+// enough snapshot from racing readers without data races.
+type nodeCounters struct {
+	reads       atomic.Int64
+	cacheHits   atomic.Int64
+	groupHits   atomic.Int64
+	dcFetches   atomic.Int64
+	txCommitted atomic.Int64
+	txAcked     atomic.Int64
+	txNacked    atomic.Int64
+}
+
+// commitTrack follows one locally committed transaction through the
+// lifecycle the paper measures: local commit → DC acknowledgement (concrete
+// commit vector cv) → K-stability (cv below the node's stable cut).
+type commitTrack struct {
+	at    time.Time
+	cv    vclock.Vector
+	acked bool
+}
+
+// maxTracked bounds the latency-tracking map; commits beyond the bound are
+// simply not measured (the histograms sample, they do not need every tx).
+const maxTracked = 4096
 
 // Node is one edge device.
 type Node struct {
@@ -114,18 +180,28 @@ type Node struct {
 	interest  map[txn.ObjectID]bool
 	unacked   []*txn.Transaction
 	connected string
-	hook      CommitHook
-	fetcher   Fetcher
-	extra     func(from string, msg any) any
-	pushHook  func(wire.PushTxs)
-	ackHook   func(wire.EdgeCommitAck)
-	visFn     func() map[vclock.Dot]bool
-	readMask  func(*txn.Transaction) bool
+	hooks     Hooks
 	listeners map[txn.ObjectID][]func(txn.ObjectID)
-	stats     Stats
+	stats     nodeCounters
+	// tracked follows in-flight local commits for the latency histograms;
+	// nil when no registry is attached (the commit path then skips it).
+	tracked map[vclock.Dot]*commitTrack
 	// failStreak/nextTry implement the commit pipeline's backoff.
 	failStreak int
 	nextTry    time.Time
+
+	// Instrumentation handles (nil-safe no-ops without a registry).
+	obsReads     *obs.Counter
+	obsCacheHits *obs.Counter
+	obsGroupHits *obs.Counter
+	obsDCFetches *obs.Counter
+	obsCommitted *obs.Counter
+	obsAcked     *obs.Counter
+	obsNacked    *obs.Counter
+	obsFetchMiss *obs.Counter
+	ackLat       *obs.Histogram
+	kstableLat   *obs.Histogram
+	bus          *obs.Bus
 
 	kick chan struct{}
 	stop chan struct{}
@@ -152,6 +228,24 @@ func New(net *simnet.Network, cfg Config) *Node {
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	n.obsReads = cfg.Obs.Counter("edge.reads")
+	n.obsCacheHits = cfg.Obs.Counter("edge.cache_hits")
+	n.obsGroupHits = cfg.Obs.Counter("edge.group_hits")
+	n.obsDCFetches = cfg.Obs.Counter("edge.dc_fetches")
+	n.obsCommitted = cfg.Obs.Counter("edge.tx_committed")
+	n.obsAcked = cfg.Obs.Counter("edge.tx_acked")
+	n.obsNacked = cfg.Obs.Counter("edge.tx_nacked")
+	n.obsFetchMiss = cfg.Obs.Counter("edge.fetch_miss")
+	n.ackLat = cfg.Obs.Histogram("edge.commit_to_ack_ns")
+	n.kstableLat = cfg.Obs.Histogram("edge.commit_to_kstable_ns")
+	n.bus = cfg.Obs.Events()
+	if cfg.Obs != nil {
+		n.tracked = make(map[vclock.Dot]*commitTrack)
+		cfg.Obs.RegisterGauge("edge.unacked", obs.AggSum, func() int64 {
+			return int64(n.UnackedCount())
+		})
+		st.SetObs(cfg.Obs)
 	}
 	if cfg.AutoAdvanceThreshold > 0 {
 		st.SetAutoAdvance(store.AdvancePolicy{
@@ -226,12 +320,22 @@ func (n *Node) ConnectedDC() string {
 	return n.connected
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. Counters are atomics, so
+// the snapshot is race-clean even against concurrent readers and committers.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		Reads:       n.stats.reads.Load(),
+		CacheHits:   n.stats.cacheHits.Load(),
+		GroupHits:   n.stats.groupHits.Load(),
+		DCFetches:   n.stats.dcFetches.Load(),
+		TxCommitted: n.stats.txCommitted.Load(),
+		TxAcked:     n.stats.txAcked.Load(),
+		TxNacked:    n.stats.txNacked.Load(),
+	}
 }
+
+// Obs returns the node's observability registry (nil when none attached).
+func (n *Node) Obs() *obs.Registry { return n.cfg.Obs }
 
 // UnackedCount reports how many local transactions still await a concrete
 // commit vector.
@@ -241,63 +345,95 @@ func (n *Node) UnackedCount() int {
 	return len(n.unacked)
 }
 
+// SetHooks atomically replaces the node's entire hook set. Unset fields fall
+// back to the default behaviour; to clear every customisation pass the zero
+// Hooks. This is the single installation point the group layer uses — the
+// per-hook Set* methods below are deprecated shims over it.
+func (n *Node) SetHooks(h Hooks) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hooks = h
+}
+
+// Hooks returns the currently installed hook set (for read-modify-write
+// updates of a single field).
+func (n *Node) Hooks() Hooks {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hooks
+}
+
 // SetCommitHook redirects locally committed transactions (peer-group mode).
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetCommitHook(h CommitHook) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.hook = h
+	n.hooks.Commit = h
 }
 
 // SetFetcher overrides cache-miss resolution (peer-group collaborative
 // cache).
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetFetcher(f Fetcher) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.fetcher = f
+	n.hooks.Fetch = f
 }
 
 // SetExtraHandler installs a handler for messages the edge layer does not
 // understand (peer-group and consensus traffic addressed to this node).
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetExtraHandler(h func(from string, msg any) any) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.extra = h
+	n.hooks.Extra = h
 }
 
 // SetPushHook installs a callback invoked after every integrated push batch;
 // a group parent uses it to forward stable updates to its members.
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetPushHook(h func(wire.PushTxs)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.pushHook = h
+	n.hooks.Push = h
 }
 
 // SetAckHook installs a callback invoked after every DC commit ack; a group
 // parent (sync point) uses it to distribute concrete commit descriptors to
 // the members.
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetAckHook(h func(wire.EdgeCommitAck)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.ackHook = h
+	n.hooks.Ack = h
 }
 
 // SetReadFilter installs a read-time masking predicate: transactions for
 // which mask returns true are hidden from this node's reads — the edge's
 // local ACL check (paper §6.4). Pass nil to clear.
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetReadFilter(mask func(*txn.Transaction) bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.readMask = mask
+	n.hooks.ReadFilter = mask
 }
 
 // SetVisibility installs the group visibility log: reads treat the returned
 // dots as visible in addition to the snapshot cut (paper §5.1.4). The
 // returned map must be treated as immutable (copy-on-write on the group
 // side).
+//
+// Deprecated: use SetHooks.
 func (n *Node) SetVisibility(fn func() map[vclock.Dot]bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.visFn = fn
+	n.hooks.Visibility = fn
 }
 
 // EnqueueForDC queues an externally managed transaction (a group-visible
@@ -344,11 +480,53 @@ func (n *Node) Promote(dot vclock.Dot, dcIdx int, ts uint64, stable vclock.Vecto
 			n.state = n.state.Join(cv)
 			if t.Origin == n.cfg.Name {
 				n.acked = n.acked.Join(cv)
+				n.observeAckLocked(dot, cv)
 			}
 		}
 	}
 	n.stable = n.stable.Join(stable)
 	n.state = n.state.Join(n.stable)
+	n.sweepStableLocked()
+}
+
+// observeAckLocked records the commit→acknowledgement latency for a tracked
+// local commit: the moment its concrete commit vector cv became known
+// (directly from the DC ack, or distributed by a group sync point). The
+// vector is kept so the K-stability sweep can tell when the transaction
+// drops below the stable cut. Caller holds n.mu.
+func (n *Node) observeAckLocked(dot vclock.Dot, cv vclock.Vector) {
+	tr := n.tracked[dot]
+	if tr == nil || tr.acked {
+		return
+	}
+	tr.acked = true
+	tr.cv = cv.Clone()
+	d := time.Since(tr.at)
+	n.ackLat.Observe(int64(d))
+	if n.bus.Active() {
+		n.bus.Publish(obs.Event{Type: obs.EvTxPromoted, Node: n.cfg.Name, Dur: d})
+	}
+}
+
+// sweepStableLocked completes the lifecycle of tracked commits whose concrete
+// commit vector sits below the (freshly advanced) stable cut: they are now
+// K-stable, so their commit→K-stable latency lands in the histogram. Called
+// everywhere n.stable advances; caller holds n.mu.
+func (n *Node) sweepStableLocked() {
+	if len(n.tracked) == 0 {
+		return
+	}
+	for dot, tr := range n.tracked {
+		if tr.cv == nil || !tr.cv.LEQ(n.stable) {
+			continue
+		}
+		d := time.Since(tr.at)
+		n.kstableLat.Observe(int64(d))
+		delete(n.tracked, dot)
+		if n.bus.Active() {
+			n.bus.Publish(obs.Event{Type: obs.EvTxKStable, Node: n.cfg.Name, Dur: d})
+		}
+	}
 }
 
 // OnUpdate subscribes a callback fired whenever the object changes (local
@@ -387,12 +565,18 @@ func (n *Node) Migrate(newDC string) error {
 	}
 	since := n.stable.Clone()
 	n.mu.Unlock()
+	if n.bus.Active() {
+		n.bus.Publish(obs.Event{Type: obs.EvMigrationStarted, Node: n.cfg.Name, Peer: newDC})
+	}
 	if err := n.subscribe(newDC, ids, true, since); err != nil {
 		// Roll back to the previous DC on failure; the caller may retry.
 		n.mu.Lock()
 		n.connected = old
 		n.mu.Unlock()
 		return fmt.Errorf("edge: migrate to %s: %w", newDC, err)
+	}
+	if n.bus.Active() {
+		n.bus.Publish(obs.Event{Type: obs.EvMigrationFinished, Node: n.cfg.Name, Peer: newDC})
 	}
 	n.kickSender()
 	return nil
@@ -466,6 +650,7 @@ func (n *Node) subscribe(dc string, ids []txn.ObjectID, resume bool, since vcloc
 	}
 	n.stable = n.stable.Join(ack.Stable)
 	n.state = n.state.Join(n.stable)
+	n.sweepStableLocked()
 	return nil
 }
 
@@ -478,7 +663,7 @@ func (n *Node) handle(from string, msg any) any {
 		return nil
 	default:
 		n.mu.Lock()
-		extra := n.extra
+		extra := n.hooks.Extra
 		n.mu.Unlock()
 		if extra != nil {
 			return extra(from, msg)
@@ -510,9 +695,13 @@ func (n *Node) ApplyPush(m wire.PushTxs) {
 	}
 	n.stable = n.stable.Join(m.Stable)
 	n.state = n.state.Join(n.stable)
+	n.sweepStableLocked()
 	fns := n.listenersFor(touched)
-	hook := n.pushHook
+	hook := n.hooks.Push
 	n.mu.Unlock()
+	if n.bus.Active() {
+		n.bus.Publish(obs.Event{Type: obs.EvPushApplied, Node: n.cfg.Name, N: int64(len(m.Txs))})
+	}
 	for _, fn := range fns {
 		fn.fn(fn.id)
 	}
@@ -575,13 +764,12 @@ func (t *Tx) ReadTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, ReadSour
 	if t.done {
 		return nil, 0, ErrDone
 	}
-	t.n.mu.Lock()
-	t.n.stats.Reads++
-	t.n.mu.Unlock()
+	t.n.stats.reads.Add(1)
+	t.n.obsReads.Inc()
 
 	t.n.mu.Lock()
-	visFn := t.n.visFn
-	mask := t.n.readMask
+	visFn := t.n.hooks.Visibility
+	mask := t.n.hooks.ReadFilter
 	t.n.mu.Unlock()
 	opts := store.ReadOptions{SelfVisible: true, Reject: mask}
 	if visFn != nil {
@@ -595,16 +783,17 @@ func (t *Tx) ReadTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, ReadSour
 	if err != nil {
 		return nil, 0, err
 	}
-	t.n.mu.Lock()
 	switch source {
 	case SourceCache:
-		t.n.stats.CacheHits++
+		t.n.stats.cacheHits.Add(1)
+		t.n.obsCacheHits.Inc()
 	case SourceGroup:
-		t.n.stats.GroupHits++
+		t.n.stats.groupHits.Add(1)
+		t.n.obsGroupHits.Inc()
 	case SourceDC:
-		t.n.stats.DCFetches++
+		t.n.stats.dcFetches.Add(1)
+		t.n.obsDCFetches.Inc()
 	}
-	t.n.mu.Unlock()
 	// Read-your-writes within the transaction, under the final update tags.
 	for _, u := range t.updates {
 		if u.Object != id {
@@ -622,8 +811,9 @@ func (t *Tx) ReadTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, ReadSour
 // travels with the fetch so the served version joins the snapshot without
 // tearing it.
 func (n *Node) fetchMiss(id txn.ObjectID, kind crdt.Kind, at vclock.Vector) (crdt.Object, ReadSource, error) {
+	n.obsFetchMiss.Inc()
 	n.mu.Lock()
-	fetch := n.fetcher
+	fetch := n.hooks.Fetch
 	n.mu.Unlock()
 	if fetch == nil {
 		fetch = n.fetchFromDC
@@ -700,7 +890,7 @@ func (t *Tx) Commit() (*txn.Transaction, error) {
 	if n.cfg.MaxUnacked > 0 {
 		for {
 			n.mu.Lock()
-			if n.closed || n.hook != nil || len(n.unacked) < n.cfg.MaxUnacked {
+			if n.closed || n.hooks.Commit != nil || len(n.unacked) < n.cfg.MaxUnacked {
 				break
 			}
 			n.mu.Unlock()
@@ -724,8 +914,12 @@ func (t *Tx) Commit() (*txn.Transaction, error) {
 		n.mu.Unlock()
 		return nil, err
 	}
-	n.stats.TxCommitted++
-	hook := n.hook
+	n.stats.txCommitted.Add(1)
+	n.obsCommitted.Inc()
+	if n.tracked != nil && len(n.tracked) < maxTracked {
+		n.tracked[tx.Dot] = &commitTrack{at: time.Now()}
+	}
+	hook := n.hooks.Commit
 	touched := make(map[txn.ObjectID]bool, len(tx.Updates))
 	for _, id := range tx.Objects() {
 		n.interest[id] = true
@@ -742,6 +936,9 @@ func (t *Tx) Commit() (*txn.Transaction, error) {
 	cp := tx.Clone()
 	n.mu.Unlock()
 
+	if n.bus.Active() {
+		n.bus.Publish(obs.Event{Type: obs.EvTxCommitted, Node: n.cfg.Name})
+	}
 	if hook != nil {
 		hook(cp)
 	} else {
@@ -827,18 +1024,21 @@ func (n *Node) drainUnacked() {
 			n.mu.Lock()
 			n.failStreak = 0
 			n.nextTry = time.Time{}
-			ackHook := n.ackHook
+			ackHook := n.hooks.Ack
 			if err := n.st.Promote(ack.Dot, ack.DCIndex, ack.Ts); err == nil {
-				n.stats.TxAcked++
+				n.stats.txAcked.Add(1)
+				n.obsAcked.Inc()
 			}
 			if t, ok := n.st.Transaction(ack.Dot); ok {
 				if cv, ok := t.CommitVector(); ok {
 					n.acked = n.acked.Join(cv)
 					n.state = n.state.Join(cv)
+					n.observeAckLocked(ack.Dot, cv)
 				}
 			}
 			n.stable = n.stable.Join(ack.Stable)
 			n.state = n.state.Join(n.stable)
+			n.sweepStableLocked()
 			if len(n.unacked) > 0 && n.unacked[0].Dot == ack.Dot {
 				n.unacked = n.unacked[1:]
 			}
@@ -850,9 +1050,8 @@ func (n *Node) drainUnacked() {
 			// Causal incompatibility with this DC (paper §3.8): the node is
 			// effectively disconnected until it migrates or the DC catches
 			// up. Keep the transaction queued and back off.
-			n.mu.Lock()
-			n.stats.TxNacked++
-			n.mu.Unlock()
+			n.stats.txNacked.Add(1)
+			n.obsNacked.Inc()
 			n.recordFailure()
 			return
 		default:

@@ -8,6 +8,7 @@ import (
 
 	"colony/internal/edge"
 	"colony/internal/epaxos"
+	"colony/internal/obs"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 	"colony/internal/wire"
@@ -50,6 +51,11 @@ type Member struct {
 	pendingOwn []*txn.Transaction
 	memberEvs  []func([]string)
 
+	// EPaxos round counters (nil-safe; shared deployment-wide by name).
+	obsProposed *obs.Counter
+	obsExecuted *obs.Counter
+	obsMsgs     *obs.Counter
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -85,13 +91,19 @@ func joinWith(node *edge.Node, cfg MemberConfig, vis *visibilityMap) (*Member, e
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	reg := node.Obs()
+	m.obsProposed = reg.Counter("group.epaxos_proposed")
+	m.obsExecuted = reg.Counter("group.epaxos_executed")
+	m.obsMsgs = reg.Counter("group.epaxos_msgs")
 	m.replica = epaxos.NewReplica(node.Name(), nil,
-		func(to string, msg any) { _ = node.Send(to, msg) },
+		func(to string, msg any) { m.obsMsgs.Inc(); _ = node.Send(to, msg) },
 		m.onExecute)
-	node.SetExtraHandler(m.handle)
-	node.SetVisibility(m.vis.snapshot)
-	node.SetCommitHook(m.onLocalCommit)
-	node.SetFetcher(m.fetch)
+	node.SetHooks(edge.Hooks{
+		Extra:      m.handle,
+		Visibility: m.vis.snapshot,
+		Commit:     m.onLocalCommit,
+		Fetch:      m.fetch,
+	})
 
 	ack, err := m.join(cfg.Parent)
 	if err != nil {
@@ -163,13 +175,11 @@ func (m *Member) leave(requeue bool) {
 	}
 }
 
-// detachHooks restores the plain edge-node behaviour.
+// detachHooks restores the plain edge-node behaviour. The visibility log
+// stays installed: transactions that became group-visible remain readable
+// (rollback freedom).
 func (m *Member) detachHooks() {
-	m.node.SetExtraHandler(nil)
-	m.node.SetCommitHook(nil)
-	m.node.SetFetcher(nil)
-	// The visibility log stays: transactions that became group-visible
-	// remain readable (rollback freedom).
+	m.node.SetHooks(edge.Hooks{Visibility: m.vis.snapshot})
 }
 
 // Node returns the underlying edge node.
@@ -316,6 +326,7 @@ func (m *Member) onLocalCommit(t *txn.Transaction) {
 	m.mu.Lock()
 	m.pendingOwn = append(m.pendingOwn, t)
 	m.mu.Unlock()
+	m.obsProposed.Inc()
 	m.replica.Propose(epaxos.Command{
 		ID:      t.Dot.String(),
 		Keys:    interferenceKeys(t),
@@ -332,6 +343,7 @@ func (m *Member) onExecute(cmd epaxos.Command) {
 	if !ok {
 		return
 	}
+	m.obsExecuted.Inc()
 	m.adoptVisible(t)
 }
 
@@ -386,6 +398,7 @@ func (m *Member) MigrateTo(parent string) (*Member, error) {
 	pending := m.pendingLocked()
 	m.mu.Unlock()
 	for _, t := range pending {
+		next.obsProposed.Inc()
 		next.replica.Propose(epaxos.Command{
 			ID:      t.Dot.String(),
 			Keys:    interferenceKeys(t),

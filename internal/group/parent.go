@@ -7,6 +7,7 @@ import (
 
 	"colony/internal/edge"
 	"colony/internal/epaxos"
+	"colony/internal/obs"
 	"colony/internal/simnet"
 	"colony/internal/store"
 	"colony/internal/txn"
@@ -28,6 +29,9 @@ type ParentConfig struct {
 	// AutoAdvanceThreshold bounds the collaborative cache's journals (see
 	// edge.Config.AutoAdvanceThreshold). 0 disables.
 	AutoAdvanceThreshold int
+	// Obs attaches the deployment's observability registry to the parent's
+	// edge node and EPaxos counters. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Parent seeds and manages a peer group (paper §5.1.1), maintains the
@@ -46,6 +50,11 @@ type Parent struct {
 	remoteLog  []*txn.Transaction // stable remote txs, for member resume (bounded)
 	sessionKey []byte
 	vis        *visibilityMap
+
+	// EPaxos round counters (nil-safe; shared deployment-wide by name).
+	obsProposed *obs.Counter
+	obsExecuted *obs.Counter
+	obsMsgs     *obs.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -73,14 +82,20 @@ func NewParent(netw *simnet.Network, cfg ParentConfig) *Parent {
 		Name: cfg.Name, Actor: cfg.Actor, DC: cfg.DC,
 		RetryInterval:        cfg.RetryInterval,
 		AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
+		Obs:                  cfg.Obs,
 	})
+	p.obsProposed = cfg.Obs.Counter("group.epaxos_proposed")
+	p.obsExecuted = cfg.Obs.Counter("group.epaxos_executed")
+	p.obsMsgs = cfg.Obs.Counter("group.epaxos_msgs")
 	p.replica = epaxos.NewReplica(cfg.Name, nil,
-		func(to string, msg any) { _ = p.node.Send(to, msg) },
+		func(to string, msg any) { p.obsMsgs.Inc(); _ = p.node.Send(to, msg) },
 		p.onExecute)
-	p.node.SetExtraHandler(p.handle)
-	p.node.SetVisibility(p.vis.snapshot)
-	p.node.SetPushHook(p.onPush)
-	p.node.SetAckHook(p.onAck)
+	p.node.SetHooks(edge.Hooks{
+		Extra:      p.handle,
+		Visibility: p.vis.snapshot,
+		Push:       p.onPush,
+		Ack:        p.onAck,
+	})
 	go p.loop(cfg.RetryInterval)
 	return p
 }
@@ -392,6 +407,7 @@ func (p *Parent) onExecute(cmd epaxos.Command) {
 		return
 	}
 	t := src.Clone()
+	p.obsExecuted.Inc()
 	p.node.ApplyGroupTx(t)
 	// Refresh from the store: a concurrent redelivery may already have
 	// contributed commit stamps.
@@ -421,6 +437,7 @@ func (p *Parent) onExecute(cmd epaxos.Command) {
 // Submit lets the parent itself (when co-located with an application)
 // propose a transaction to the group's consensus.
 func (p *Parent) Submit(t *txn.Transaction) {
+	p.obsProposed.Inc()
 	p.replica.Propose(epaxos.Command{
 		ID:      t.Dot.String(),
 		Keys:    interferenceKeys(t),

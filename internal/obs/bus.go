@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType identifies a lifecycle event class.
+type EventType int
+
+// The event taxonomy. Each layer publishes the events it owns; subscribers
+// filter by type. See DESIGN.md § Observability for the full mapping of
+// events to layers.
+const (
+	// EvTxCommitted: an edge node committed a transaction locally.
+	EvTxCommitted EventType = iota
+	// EvTxPromoted: a locally-committed transaction received its DC
+	// timestamp (promotion to the global total order).
+	EvTxPromoted
+	// EvTxKStable: a transaction became K-stable (replicated to at least K
+	// data centers); Dur carries the commit→K-stable latency when known.
+	EvTxKStable
+	// EvPushApplied: an edge node applied a push batch from its DC; N is
+	// the number of transactions in the batch.
+	EvPushApplied
+	// EvCacheHit / EvCacheMiss: store materialization-cache outcome for a
+	// read of Object.
+	EvCacheHit
+	EvCacheMiss
+	// EvBaseAdvanced: a store folded its journals into the base snapshot;
+	// N is the number of journal entries folded away.
+	EvBaseAdvanced
+	// EvMigrationStarted / EvMigrationFinished: an edge node switching DCs.
+	EvMigrationStarted
+	EvMigrationFinished
+	// EvPartitionCut / EvPartitionHealed: simnet link state between Node
+	// and Peer changed.
+	EvPartitionCut
+	EvPartitionHealed
+)
+
+// String returns the stable lowercase name used in logs and dumps.
+func (t EventType) String() string {
+	switch t {
+	case EvTxCommitted:
+		return "tx_committed"
+	case EvTxPromoted:
+		return "tx_promoted"
+	case EvTxKStable:
+		return "tx_kstable"
+	case EvPushApplied:
+		return "push_applied"
+	case EvCacheHit:
+		return "cache_hit"
+	case EvCacheMiss:
+		return "cache_miss"
+	case EvBaseAdvanced:
+		return "base_advanced"
+	case EvMigrationStarted:
+		return "migration_started"
+	case EvMigrationFinished:
+		return "migration_finished"
+	case EvPartitionCut:
+		return "partition_cut"
+	case EvPartitionHealed:
+		return "partition_healed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one lifecycle occurrence. Fields beyond Type are optional and
+// event-specific; unused fields are left zero. The struct is all plain
+// values so publishing does not allocate beyond the channel send.
+type Event struct {
+	Type   EventType
+	Node   string        // originating node/component name
+	Peer   string        // counterpart (partition events, migration target DC)
+	Object string        // object key (cache events)
+	N      int64         // magnitude (batch size, entries folded, DC index)
+	Dur    time.Duration // latency payload (K-stability, propagation)
+	At     time.Time     // publish time; stamped only when subscribers exist
+}
+
+// Subscription is one subscriber's bounded event feed. Events arrive on C in
+// publish order. When the buffer is full the newest event is dropped (the
+// bus never blocks publishers) and Dropped() is incremented.
+type Subscription struct {
+	C       <-chan Event
+	ch      chan Event
+	dropped atomic.Int64
+	bus     *Bus
+	closed  bool
+}
+
+// Dropped reports how many events were discarded because the subscriber fell
+// behind.
+func (s *Subscription) Dropped() int64 {
+	return s.dropped.Load()
+}
+
+// Close detaches the subscription from the bus and closes C. Events already
+// buffered remain readable until drained.
+func (s *Subscription) Close() {
+	s.bus.unsubscribe(s)
+}
+
+// Bus is a typed event bus with bounded, non-blocking fan-out. A nil *Bus is
+// valid: Publish is a no-op. With zero subscribers Publish costs one atomic
+// load — cheap enough to leave in per-read hot paths.
+type Bus struct {
+	mu    sync.Mutex
+	subs  []*Subscription
+	nsubs atomic.Int32
+}
+
+func newBus() *Bus {
+	return &Bus{}
+}
+
+// Subscribe registers a new subscriber whose channel buffers up to buf
+// events (minimum 1). Nil-safe: returns nil on a nil bus; a nil
+// *Subscription has no channel, so callers holding a possibly-nil
+// subscription should check before ranging.
+func (b *Bus) Subscribe(buf int) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	s := &Subscription{C: ch, ch: ch, bus: b}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.nsubs.Store(int32(len(b.subs)))
+	b.mu.Unlock()
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Subscription) {
+	if s == nil {
+		return
+	}
+	b.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for i, x := range b.subs {
+			if x == s {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				break
+			}
+		}
+		b.nsubs.Store(int32(len(b.subs)))
+		close(s.ch)
+	}
+	b.mu.Unlock()
+}
+
+// Active reports whether any subscriber is attached. Hot paths whose event
+// payload costs anything to build (string conversion, time lookup) check it
+// first so the zero-subscriber case stays allocation-free.
+func (b *Bus) Active() bool {
+	return b != nil && b.nsubs.Load() != 0
+}
+
+// Publish delivers ev to every subscriber in a single total order (events
+// published by concurrent goroutines are seen in the same relative order by
+// all subscribers). Publish never blocks: a subscriber whose buffer is full
+// loses ev (drop-newest) and its Dropped counter is incremented. Nil-safe.
+func (b *Bus) Publish(ev Event) {
+	if b == nil || b.nsubs.Load() == 0 {
+		return
+	}
+	ev.At = time.Now()
+	b.mu.Lock()
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBusOrdering: events from concurrent publishers arrive in one total
+// order, identical across subscribers, and per-publisher order is preserved.
+func TestBusOrdering(t *testing.T) {
+	b := newBus()
+	const perPub, pubs = 50, 4
+	s1 := b.Subscribe(perPub * pubs)
+	s2 := b.Subscribe(perPub * pubs)
+
+	var wg sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(Event{Type: EvTxCommitted, N: int64(p*perPub + i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	drain := func(s *Subscription) []int64 {
+		var out []int64
+		for {
+			select {
+			case ev := <-s.C:
+				out = append(out, ev.N)
+			default:
+				return out
+			}
+		}
+	}
+	g1, g2 := drain(s1), drain(s2)
+	if len(g1) != perPub*pubs || len(g2) != perPub*pubs {
+		t.Fatalf("got %d/%d events, want %d", len(g1), len(g2), perPub*pubs)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("subscribers disagree at %d: %d vs %d", i, g1[i], g2[i])
+		}
+	}
+	// Per-publisher FIFO: within each publisher's N-range, values ascend.
+	last := map[int64]int64{}
+	for _, n := range g1 {
+		p := n / perPub
+		if prev, ok := last[p]; ok && n <= prev {
+			t.Fatalf("publisher %d order violated: %d after %d", p, n, prev)
+		}
+		last[p] = n
+	}
+}
+
+// TestBusOverflow: a full subscriber drops the newest events, counts them,
+// and keeps the events it already buffered.
+func TestBusOverflow(t *testing.T) {
+	b := newBus()
+	s := b.Subscribe(2)
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Type: EvPushApplied, N: int64(i)})
+	}
+	if got := s.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	var got []int64
+	for len(s.C) > 0 {
+		got = append(got, (<-s.C).N)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("buffered = %v, want [0 1] (drop-newest)", got)
+	}
+}
+
+// TestBusSlowSubscriberDoesNotBlockOthers: one stalled subscriber must not
+// stop a healthy one from receiving everything.
+func TestBusSlowSubscriberDoesNotBlockOthers(t *testing.T) {
+	b := newBus()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(100)
+	for i := 0; i < 50; i++ {
+		b.Publish(Event{Type: EvCacheHit, N: int64(i)})
+	}
+	if got := len(fast.C); got != 50 {
+		t.Fatalf("fast subscriber got %d events, want 50", got)
+	}
+	if slow.Dropped() != 49 {
+		t.Fatalf("slow dropped = %d, want 49", slow.Dropped())
+	}
+}
+
+func TestBusUnsubscribe(t *testing.T) {
+	b := newBus()
+	s := b.Subscribe(4)
+	b.Publish(Event{Type: EvBaseAdvanced})
+	s.Close()
+	s.Close() // idempotent
+	// After close the channel drains then reports closed.
+	if _, ok := <-s.C; !ok {
+		t.Fatal("buffered event lost on close")
+	}
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel should be closed after drain")
+	}
+	// No subscribers left: publish takes the fast path and must not panic.
+	b.Publish(Event{Type: EvBaseAdvanced})
+	if b.nsubs.Load() != 0 {
+		t.Fatalf("nsubs = %d after unsubscribe", b.nsubs.Load())
+	}
+}
+
+func TestBusStampsTime(t *testing.T) {
+	b := newBus()
+	s := b.Subscribe(1)
+	before := time.Now()
+	b.Publish(Event{Type: EvMigrationStarted, Node: "laptop", Peer: "dc1"})
+	ev := <-s.C
+	if ev.At.Before(before) {
+		t.Fatalf("event time %v before publish start %v", ev.At, before)
+	}
+	if ev.Node != "laptop" || ev.Peer != "dc1" {
+		t.Fatalf("payload mangled: %+v", ev)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	typesSeen := map[string]bool{}
+	for ty := EvTxCommitted; ty <= EvPartitionHealed; ty++ {
+		s := ty.String()
+		if s == "unknown" || typesSeen[s] {
+			t.Fatalf("event type %d has bad/duplicate name %q", ty, s)
+		}
+		typesSeen[s] = true
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram math: log-linear (HdrHistogram-style) bucketing. Values 0..7 get
+// exact unit buckets. Above that, each power-of-two range [2^e, 2^(e+1)) for
+// e >= 3 is split into 8 linear sub-buckets of width 2^(e-3), giving a worst
+// case relative error of 1/8 (12.5%) at the bucket midpoint. int64 values
+// need buckets up to e=62, so:
+//
+//	index < 8            : value == index            (unit buckets)
+//	index >= 8           : e = (index-8)/8 + 3, pos = (index-8)%8
+//	                       lo = (8+pos) << (e-3), width = 1 << (e-3)
+//
+// Max index = 8 + (62-3)*8 + 7 = 487, so 488 buckets (~4KB of atomics).
+const histBuckets = 488
+
+// Histogram records int64 observations (typically nanoseconds or sizes) in
+// bounded log-linear buckets and reports approximate quantiles. All methods
+// are lock-free and safe for concurrent use; all are no-ops on a nil
+// receiver. Negative observations clamp to zero.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64
+	max   atomic.Int64
+	b     [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel: no observations yet
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < 8 {
+		return int(u)
+	}
+	hi := bits.Len64(u) - 1 // position of the highest set bit, >= 3
+	shift := uint(hi - 3)
+	m := u >> shift // in [8, 16)
+	return (hi-3)*8 + int(m-8) + 8
+}
+
+// bucketBounds returns the [lo, hi) range covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 8 {
+		return int64(i), int64(i) + 1
+	}
+	e := (i-8)/8 + 3
+	pos := (i - 8) % 8
+	width := int64(1) << uint(e-3)
+	lo = int64(8+pos) << uint(e-3)
+	return lo, lo + width
+}
+
+// Observe records one value. Nil-safe no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.b[bucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations; zero on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) as the midpoint
+// of the bucket containing that rank, clamped to the observed min/max.
+// Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.b[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mn := h.min.Load(); mid < mn {
+				mid = mn
+			}
+			if mx := h.max.Load(); mid > mx {
+				mid = mx
+			}
+			return mid
+		}
+	}
+	return h.max.Load()
+}
+
+// Summary captures a histogram's headline statistics at a point in time.
+type Summary struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Summarize returns the current summary; the zero Summary on nil or empty.
+func (h *Histogram) Summarize() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: n,
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip: every bucket's bounds must contain exactly the values
+// that map to it, and indices must be monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1 << 20,
+		(1 << 40) + 12345, 1<<62 + 99}
+	prev := -1
+	for _, v := range vals {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d [%d,%d)", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("index %d out of range for value %d", i, v)
+		}
+		prev = i
+	}
+}
+
+// referenceQuantile computes the exact q-quantile by sorting.
+func referenceQuantile(sorted []int64, q float64) int64 {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// TestQuantileAccuracy: log-linear buckets guarantee <=12.5% relative error
+// at the midpoint; assert p50/p95/p99 within 15% of an exact reference over
+// several distributions.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1_000_000) },
+		"exp-ish":   func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"lognormal": func() int64 { return int64(1000 * (1 + rng.Float64()*rng.Float64()*500)) },
+		"small":     func() int64 { return rng.Int63n(10) },
+	}
+	for name, gen := range dists {
+		h := newHistogram()
+		vals := make([]int64, 20_000)
+		for i := range vals {
+			vals[i] = gen()
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			want := referenceQuantile(vals, q)
+			got := h.Quantile(q)
+			tol := float64(want) * 0.15
+			if tol < 2 {
+				tol = 2 // unit buckets below 8 are exact; allow rank slack
+			}
+			if d := float64(got - want); d > tol || d < -tol {
+				t.Errorf("%s q%.2f: got %d, reference %d (tol %.0f)", name, q, got, want, tol)
+			}
+		}
+		sum := h.Summarize()
+		if sum.Count != int64(len(vals)) {
+			t.Errorf("%s count = %d, want %d", name, sum.Count, len(vals))
+		}
+		if sum.Min != vals[0] || sum.Max != vals[len(vals)-1] {
+			t.Errorf("%s min/max = %d/%d, want %d/%d", name, sum.Min, sum.Max, vals[0], vals[len(vals)-1])
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("single-value q=%v: got %d, want 42", q, got)
+		}
+	}
+	h2 := newHistogram()
+	h2.Observe(-5) // clamps to 0
+	if h2.Quantile(0.5) != 0 || h2.Summarize().Min != 0 {
+		t.Fatal("negative observation should clamp to zero")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(int64(g*5000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Summarize()
+	if s.Count != 40_000 {
+		t.Fatalf("count = %d, want 40000", s.Count)
+	}
+	if s.Min != 0 || s.Max != 39_999 {
+		t.Fatalf("min/max = %d/%d, want 0/39999", s.Min, s.Max)
+	}
+}

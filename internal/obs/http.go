@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// metricName sanitizes a dotted metric name into the exposition-safe form
+// (dots become underscores; the dotted form stays the canonical API name).
+func metricName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus-style
+// text exposition format: counters and gauges as single samples, histograms
+// as quantile-labelled samples plus _count and _sum. Safe on a nil registry
+// (serves an empty page).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := r.Snapshot()
+		for _, k := range names(snap.Counters) {
+			n := metricName(k)
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k])
+		}
+		for _, k := range names(snap.Gauges) {
+			n := metricName(k)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, snap.Gauges[k])
+		}
+		for _, k := range names(snap.Histograms) {
+			h := snap.Histograms[k]
+			n := metricName(k)
+			fmt.Fprintf(w, "# TYPE %s summary\n", n)
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", n, h.P50)
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %d\n", n, h.P95)
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", n, h.P99)
+			fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		}
+	})
+}
+
+// expvar.Publish panics on duplicate names and has no unpublish, so guard
+// against re-registration (tests, server restarts within one process).
+var expvarOnce sync.Mutex
+var expvarPublished = map[string]bool{}
+
+// PublishExpvar exposes the registry under the given expvar name (served by
+// the standard /debug/vars endpoint) as a nested JSON map of counters,
+// gauges, and histogram summaries. Repeated calls with the same name rebind
+// the variable to the latest registry. Nil-safe (publishes empty maps).
+func (r *Registry) PublishExpvar(name string) {
+	expvarOnce.Lock()
+	defer expvarOnce.Unlock()
+	if expvarPublished[name] {
+		// Already published from a previous registry in this process; the
+		// Func closure below reads through a registered slot instead.
+		expvarSlots[name] = r
+		return
+	}
+	expvarPublished[name] = true
+	expvarSlots[name] = r
+	expvar.Publish(name, expvar.Func(func() any {
+		expvarOnce.Lock()
+		reg := expvarSlots[name]
+		expvarOnce.Unlock()
+		snap := reg.Snapshot()
+		hists := map[string]map[string]int64{}
+		for k, h := range snap.Histograms {
+			hists[k] = map[string]int64{
+				"count": h.Count, "sum": h.Sum, "min": h.Min, "max": h.Max,
+				"p50": h.P50, "p95": h.P95, "p99": h.P99,
+			}
+		}
+		return map[string]any{
+			"counters":   snap.Counters,
+			"gauges":     snap.Gauges,
+			"histograms": hists,
+		}
+	}))
+}
+
+var expvarSlots = map[string]*Registry{}

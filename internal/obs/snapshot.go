@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry: the one
+// read path that colony-server's status loop, colony-bench's per-run dumps,
+// and tests all share. Maps are fresh copies — mutating a snapshot never
+// touches the registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]Summary
+}
+
+// Snapshot collects all counters, gauges (push-style and registered pull
+// sources, folded per their Agg mode), and histogram summaries. Nil-safe:
+// returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]Summary{},
+	}
+	if r == nil {
+		return snap
+	}
+	// Copy the handle maps under the lock, then read values outside it so
+	// gauge callbacks (which may take component locks) never nest inside
+	// the registry mutex.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	sources := make(map[string]*gaugeSource, len(r.sources))
+	for k, v := range r.sources {
+		fns := make([]func() int64, len(v.fns))
+		copy(fns, v.fns)
+		sources[k] = &gaugeSource{agg: v.agg, fns: fns}
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, src := range sources {
+		var acc int64
+		for i, fn := range src.fns {
+			v := fn()
+			switch {
+			case i == 0:
+				acc = v
+			case src.agg == AggMax:
+				if v > acc {
+					acc = v
+				}
+			default:
+				acc += v
+			}
+		}
+		// A pull source wins over a push gauge of the same name; avoid
+		// silently mixing the two by giving sources their own entry.
+		snap.Gauges[k] = acc
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Summarize()
+	}
+	return snap
+}
+
+// String renders the snapshot as a compact sorted human-readable dump, one
+// metric per line — the format colony-bench prints per run.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, k := range names(s.Counters) {
+		fmt.Fprintf(&b, "%s %d\n", k, s.Counters[k])
+	}
+	for _, k := range names(s.Gauges) {
+		fmt.Fprintf(&b, "%s %d\n", k, s.Gauges[k])
+	}
+	for _, k := range names(s.Histograms) {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "%s count=%d p50=%d p95=%d p99=%d max=%d\n",
+			k, h.Count, h.P50, h.P95, h.P99, h.Max)
+	}
+	return b.String()
+}
+
+// CacheHitRate computes hits/(hits+misses) from the conventional
+// store.cache_hit / store.cache_miss counters; -1 when no reads happened.
+func (s Snapshot) CacheHitRate() float64 {
+	hits := s.Counters["store.cache_hit"]
+	miss := s.Counters["store.cache_miss"]
+	if hits+miss == 0 {
+		return -1
+	}
+	return float64(hits) / float64(hits+miss)
+}
+
+// sortedKeys of both value maps merged (used by exposition).
+func (s Snapshot) allScalarNames() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	out = append(out, names(s.Counters)...)
+	out = append(out, names(s.Gauges)...)
+	sort.Strings(out)
+	return out
+}

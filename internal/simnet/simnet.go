@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"colony/internal/obs"
 )
 
 // Errors returned by the network.
@@ -56,6 +58,10 @@ type Config struct {
 	Scale float64
 	// Seed seeds the jitter/loss random source; 0 picks the current time.
 	Seed int64
+	// Obs attaches the deployment's observability registry: the network
+	// records net.sent / net.delivered / net.dropped counters, a
+	// net.in_flight gauge, and partition cut/heal events. Nil disables.
+	Obs *obs.Registry
 }
 
 // Network is a simulated network of named nodes.
@@ -73,6 +79,14 @@ type Network struct {
 
 	sent      atomic.Int64
 	delivered atomic.Int64
+	dropped   atomic.Int64
+	inFlight  atomic.Int64
+
+	// Instrumentation handles (nil-safe no-ops without a registry).
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropped   *obs.Counter
+	bus          *obs.Bus
 }
 
 // link tracks the per-directed-pair state needed for FIFO delivery. Each
@@ -126,13 +140,21 @@ func New(cfg Config) *Network {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &Network{
+	n := &Network{
 		scale:    scale,
 		rng:      rand.New(rand.NewSource(seed)),
 		nodes:    make(map[string]*Node),
 		defaults: cfg.Default,
 		links:    make(map[[2]string]*link),
 	}
+	n.obsSent = cfg.Obs.Counter("net.sent")
+	n.obsDelivered = cfg.Obs.Counter("net.delivered")
+	n.obsDropped = cfg.Obs.Counter("net.dropped")
+	n.bus = cfg.Obs.Events()
+	cfg.Obs.RegisterGauge("net.in_flight", obs.AggSum, func() int64 {
+		return n.inFlight.Load()
+	})
+	return n
 }
 
 // AddNode registers a node with its message handler and returns its handle.
@@ -180,7 +202,6 @@ func (n *Network) Heal(a, b string) { n.setDown(a, b, false) }
 
 func (n *Network) setDown(a, b string, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, key := range [][2]string{{a, b}, {b, a}} {
 		l := n.links[key]
 		if l == nil {
@@ -188,6 +209,14 @@ func (n *Network) setDown(a, b string, down bool) {
 			n.links[key] = l
 		}
 		l.cfg.Down = down
+	}
+	n.mu.Unlock()
+	if n.bus.Active() {
+		ty := obs.EvPartitionCut
+		if !down {
+			ty = obs.EvPartitionHealed
+		}
+		n.bus.Publish(obs.Event{Type: ty, Node: a, Peer: b})
 	}
 }
 
@@ -229,6 +258,12 @@ func (n *Network) Stats() (sent, delivered int64) {
 	return n.sent.Load(), n.delivered.Load()
 }
 
+// Dropped returns the number of messages lost to lossy links so far.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// InFlight returns the number of messages scheduled but not yet delivered.
+func (n *Network) InFlight() int64 { return n.inFlight.Load() }
+
 // schedule computes the delivery deadline for one message on from→to and
 // enqueues the delivery, or returns an error for down links; lost messages
 // return errLostInternal so Call can fail fast while Send stays silent.
@@ -256,6 +291,9 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
 		n.mu.Unlock()
 		n.sent.Add(1)
+		n.obsSent.Inc()
+		n.dropped.Add(1)
+		n.obsDropped.Inc()
 		return errLostInternal
 	}
 	delay := cfg.Latency
@@ -277,7 +315,10 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 	}
 	l.lastAt = deliverAt
 	n.sent.Add(1)
+	n.obsSent.Inc()
+	n.inFlight.Add(1)
 	l.queue = append(l.queue, delivery{at: deliverAt, fn: func() {
+		n.inFlight.Add(-1)
 		n.mu.Lock()
 		cur := n.nodes[to]
 		n.mu.Unlock()
@@ -285,6 +326,7 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 			return
 		}
 		n.delivered.Add(1)
+		n.obsDelivered.Inc()
 		deliver(dst)
 	}})
 	if !l.running {

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"colony/internal/obs"
 	"colony/internal/vclock"
 )
 
@@ -94,5 +95,7 @@ func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
 		}
 		s.txMu.Unlock()
 	}
+	s.baseAdv.Inc()
+	s.bus.Publish(obs.Event{Type: obs.EvBaseAdvanced, Node: s.self, N: int64(len(folded))})
 	return nil
 }

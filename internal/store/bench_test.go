@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 )
@@ -138,6 +139,39 @@ func BenchmarkStoreReadParallel(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkStoreReadObs measures instrumentation overhead on the hot cached
+// read path: the same steady-state read as BenchmarkStoreRead (depth 256,
+// cache on) with no registry attached (the disabled path: nil-check-only
+// counters) versus an attached per-deployment registry (one atomic add per
+// read). The `make bench-obs` target runs this pair; the acceptance bar is
+// <=5% delta on the obs=on variant.
+func BenchmarkStoreReadObs(b *testing.B) {
+	const depth = 256
+	for _, withObs := range []bool{false, true} {
+		b.Run(fmt.Sprintf("depth=%d/obs=%v", depth, withObs), func(b *testing.B) {
+			s := New("dc0")
+			if withObs {
+				s.SetObs(obs.New())
+			}
+			id := txn.ObjectID{Bucket: "bench", Key: "set"}
+			for i := 1; i <= depth; i++ {
+				if err := s.Apply(toggleTx(id, uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cut := vclock.Vector{uint64(depth)}
+			opts := ReadOptions{SelfVisible: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Read(id, cut, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

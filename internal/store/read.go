@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 )
@@ -129,6 +130,10 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 	obj.cacheMu.Unlock()
 
 	if c != nil && c.fp == fp && c.allApplied && c.vec.LEQ(at) {
+		s.cacheHits.Inc()
+		if s.bus.Active() {
+			s.bus.Publish(obs.Event{Type: obs.EvCacheHit, Node: s.self, Object: id.String()})
+		}
 		if c.watermark == len(obj.journal) {
 			// Nothing new since the cached materialisation.
 			return c.state.Clone(), nil
@@ -148,6 +153,10 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 	}
 
 	// Full replay; memoise the result when it supersedes the cached one.
+	s.cacheMiss.Inc()
+	if s.bus.Active() {
+		s.bus.Publish(obs.Event{Type: obs.EvCacheMiss, Node: s.self, Object: id.String()})
+	}
 	out, all, err := s.replay(id, obj.base.Clone(), obj.journal, at, opts)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 )
@@ -126,6 +127,14 @@ type Store struct {
 	// concurrent triggers into one background fold.
 	policy    AdvancePolicy
 	advancing atomic.Bool
+
+	// Instrumentation handles, resolved once by SetObs. All are nil-safe
+	// no-ops when no registry is attached, so the hot read path pays one
+	// nil check per counter when observability is off.
+	cacheHits *obs.Counter
+	cacheMiss *obs.Counter
+	baseAdv   *obs.Counter
+	bus       *obs.Bus
 }
 
 // New returns an empty store owned by node self.
@@ -143,6 +152,24 @@ func New(self string) *Store {
 // SetCacheMode marks the store as a partial replica (edge cache); see the
 // cacheMode field for the semantics. Must be called before use.
 func (s *Store) SetCacheMode(on bool) { s.cacheMode = on }
+
+// SetObs attaches the deployment's observability registry. The store records
+// store.cache_hit / store.cache_miss counters (materialisation-cache outcome
+// of cache-eligible reads), store.base_advance, registers itself as a source
+// of the store.max_journal_len gauge (AggMax across the deployment's
+// stores), and publishes EvCacheHit/EvCacheMiss/EvBaseAdvanced events.
+// Passing nil detaches counters but keeps a previously registered gauge
+// source (registries have no unregister; the source just keeps reporting).
+// Must be called before the store is shared between goroutines.
+func (s *Store) SetObs(r *obs.Registry) {
+	s.cacheHits = r.Counter("store.cache_hit")
+	s.cacheMiss = r.Counter("store.cache_miss")
+	s.baseAdv = r.Counter("store.base_advance")
+	s.bus = r.Events()
+	r.RegisterGauge("store.max_journal_len", obs.AggMax, func() int64 {
+		return int64(s.MaxJournalLen())
+	})
+}
 
 // SetReadCache enables or disables the per-object materialisation cache
 // (enabled by default; benchmarks disable it to measure the baseline). Must

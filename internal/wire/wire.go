@@ -9,6 +9,8 @@
 package wire
 
 import (
+	"time"
+
 	"colony/internal/crdt"
 	"colony/internal/txn"
 	"colony/internal/vclock"
@@ -18,10 +20,14 @@ import (
 
 // ReplTx replicates one committed transaction between DCs. State piggybacks
 // the sender's current state vector for K-stability tracking (paper §3.8).
+// SentAt stamps the send time so the receiver can observe inter-DC
+// propagation latency; the zero value (e.g. on messages from older peers)
+// disables the measurement.
 type ReplTx struct {
-	From  int // sender's DC index
-	Tx    *txn.Transaction
-	State vclock.Vector
+	From   int // sender's DC index
+	Tx     *txn.Transaction
+	State  vclock.Vector
+	SentAt time.Time
 }
 
 // ReplHeartbeat advertises a DC's state vector when there is no traffic, so
