@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline
 
 all: check
 
@@ -10,12 +10,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The store, dc, edge and obs packages carry the concurrency-heavy code
+# The store, dc, edge, obs and wal packages carry the concurrency-heavy code
 # (sharded store locks, background base advancement, ClockSI 2PC, lock-free
-# edge stats, the event bus); run them under the race detector on every
-# check.
+# edge stats, the event bus, the group-commit WAL writer and the staged DC
+# write pipeline — including the ≥8-committer convergence test); run them
+# under the race detector on every check.
 test-race:
-	$(GO) test -race ./internal/store ./internal/dc ./internal/edge ./internal/obs
+	$(GO) test -race ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +38,13 @@ bench-vclock:
 # Repository-level figure benchmarks (reduced configurations).
 bench-fig4:
 	$(GO) test -run xxx -bench BenchmarkFig4 -benchtime 3x .
+
+# A/B of the DC write path: legacy inline (per-tx replication fan-out, fsync
+# per commit) vs the staged pipeline (per-peer batched senders, group-commit
+# WAL, async push workers). Records the comparison to BENCH_pipeline.json at
+# the repo root; acceptance requires the pipelined path >=2x.
+bench-pipeline:
+	$(GO) test -run TestRecordPipelineBench -count=1 -v ./internal/dc -record-pipeline
 
 # Instrumentation overhead on the cached read path: obs=false vs obs=true
 # must stay within a few percent of each other (see DESIGN.md

@@ -43,6 +43,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "workload seed")
 		quick      = fs.Bool("quick", false, "small configurations for a fast sanity run")
 		obsDump    = fs.Bool("obs", true, "print the per-run instrumentation snapshot after each fig4 point")
+		inline     = fs.Bool("inline", false, "run the DCs on the serial pre-pipeline write path (A/B baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +65,7 @@ func run(args []string) error {
 		ActionsPerClient: *actions,
 		Scale:            *scale,
 		Seed:             *seed,
+		InlineWritePath:  *inline,
 	}
 	tlcfg := bench.TimelineConfig{
 		Duration:    *duration,

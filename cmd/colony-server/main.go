@@ -45,6 +45,9 @@ func run(args []string) error {
 		deny    = fs.Bool("deny-by-default", false, "ACL denies unlisted objects")
 		adv     = fs.Int("auto-advance", 256, "journal length that triggers background base advancement (0 disables)")
 		metrics = fs.String("metrics", ":8080", "HTTP address for /metrics and /debug/vars (empty disables)")
+		datadir = fs.String("datadir", "", "directory for per-DC write-ahead logs (empty disables persistence)")
+		syncw   = fs.Bool("syncwrites", false, "commit acks wait for WAL durability (group-committed; needs -datadir)")
+		inline  = fs.Bool("inline", false, "disable the staged write pipeline (serial per-tx baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,9 @@ func run(args []string) error {
 		Profile: core.PaperProfile(), Scale: *scale,
 		DenyByDefault:        *deny,
 		AutoAdvanceThreshold: *adv,
+		DataDir:              *datadir,
+		SyncWrites:           *syncw,
+		InlineWritePath:      *inline,
 	})
 	if err != nil {
 		return err
@@ -117,10 +123,19 @@ func run(args []string) error {
 				fmt.Printf("  commit→K-stable: p50=%s p95=%s p99=%s (n=%d)\n",
 					time.Duration(kst.P50), time.Duration(kst.P95), time.Duration(kst.P99), kst.Count)
 			}
+			if rb, ok := snap.Histograms["dc.repl_batch_txs"]; ok && rb.Count > 0 {
+				fmt.Printf("  write pipeline: repl batch p50=%d p95=%d, outbox repl=%d push=%d, fsyncs=%d\n",
+					rb.P50, rb.P95,
+					snap.Gauges["dc.repl_outbox_depth"], snap.Gauges["dc.push_outbox_depth"],
+					snap.Counters["wal.fsyncs"])
+			}
 			for i := 0; i < cluster.NumDCs(); i++ {
 				d := cluster.DC(i)
 				fmt.Printf("  %s: state=%v stable=%v log=%d masked=%d\n",
 					d.Name(), d.State(), d.Stable(), d.LogLen(), d.MaskedCount())
+				if err := d.LastWALError(); err != nil {
+					fmt.Printf("  %s: WAL ERROR (durability degraded): %v\n", d.Name(), err)
+				}
 			}
 			for _, p := range parents {
 				fmt.Printf("  %s: members=%v vislog=%d\n",

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"colony/internal/acl"
@@ -72,6 +73,17 @@ type ClusterConfig struct {
 	// storage shard via background base advancement (see dc.Config); 0
 	// disables.
 	AutoAdvanceThreshold int
+	// DataDir enables DC persistence: each DC keeps a write-ahead log under
+	// DataDir/dcN and replays it on restart. Empty disables (unit tests).
+	DataDir string
+	// SyncWrites makes commit acknowledgement wait for WAL durability; the
+	// pipelined write path shares one fsync across a group-commit batch (see
+	// dc.Config). Only meaningful with DataDir.
+	SyncWrites bool
+	// InlineWritePath disables the DCs' staged write pipeline (per-peer
+	// batched replication senders, group-commit WAL, async push fan-out) and
+	// restores the serial per-transaction path — the A/B baseline.
+	InlineWritePath bool
 	// Obs is the deployment's instrumentation registry. Nil creates a fresh
 	// registry, so every deployment is always observable via Cluster.Obs();
 	// supply one to aggregate several clusters into a single exposition.
@@ -124,6 +136,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		peers[i] = fmt.Sprintf("dc%d", i)
 	}
 	for i := 0; i < cfg.DCs; i++ {
+		dataDir := ""
+		if cfg.DataDir != "" {
+			dataDir = filepath.Join(cfg.DataDir, peers[i])
+		}
 		d, err := dc.New(net, dc.Config{
 			Index:       i,
 			Name:        peers[i],
@@ -134,6 +150,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			ServiceTime: cfg.ServiceTime,
 			Workers:     cfg.Workers,
 			Obs:         cfg.Obs,
+			DataDir:     dataDir,
+			SyncWrites:  cfg.SyncWrites,
+			Inline:      cfg.InlineWritePath,
 
 			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})

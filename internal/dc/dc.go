@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colony/internal/clocksi"
@@ -64,6 +65,31 @@ type Config struct {
 	// appended to a write-ahead log under this directory and replayed on
 	// restart. Empty disables persistence (unit tests, far-edge nodes).
 	DataDir string
+	// SyncWrites makes commit acknowledgement wait until the transaction's
+	// WAL append is durable (flushed and fsynced). With the pipelined path
+	// the wait piggybacks on the group-commit writer, so N concurrent
+	// committers share one fsync; inline it degenerates to an fsync per
+	// commit. Only meaningful with DataDir set.
+	SyncWrites bool
+	// WALSyncEvery caps how many appends the group-commit writer coalesces
+	// into one fsync batch (default 64); WALSyncInterval optionally lets the
+	// writer linger to fill a batch (default 0: fsync whatever is pending).
+	WALSyncEvery    int
+	WALSyncInterval time.Duration
+	// ReplOutbox bounds each per-peer replication outbox (default 4096);
+	// a full outbox back-pressures committers rather than dropping, so
+	// replication never silently relies on anti-entropy alone.
+	ReplOutbox int
+	// ReplBatchMax caps how many transactions a per-peer sender coalesces
+	// into one wire.ReplBatch (default 128).
+	ReplBatchMax int
+	// Inline disables the staged write pipeline and restores the serial
+	// pre-pipeline path: one wire.ReplTx per transaction per peer built and
+	// sent inside commitAt, push fan-out under the global DC lock, and
+	// unbatched WAL appends (an fsync per commit when SyncWrites is set).
+	// It exists for A/B benchmarking (make bench-pipeline) and as an escape
+	// hatch; production configurations leave it false.
+	Inline bool
 	// ServiceTime and Workers model the DC's finite capacity for
 	// client-facing requests (commit acceptance, fetches, subscriptions,
 	// migrated transactions): each such request occupies one of Workers
@@ -84,8 +110,43 @@ type subscription struct {
 	// logIdx is the position in the DC's transaction log up to which the
 	// subscriber has been served.
 	logIdx int
-	// stable is the stability cut last pushed to the subscriber.
+	// stable is the stability cut last handed to the subscriber's outbox
+	// (pipelined) or pushed (inline).
 	stable vclock.Vector
+
+	// Pipelined push fan-out (unused in inline mode). pending holds log
+	// entries scanned but not yet sent (unfiltered — the worker applies the
+	// interest filter outside the DC lock), pendingStable the latest cut to
+	// advertise, sentStable the cut last actually handed to the network.
+	// All are guarded by outMu, which also guards interest so the worker
+	// can filter without the DC lock. Lock order: d.mu before outMu.
+	outMu         sync.Mutex
+	pending       []*txn.Transaction
+	pendingStable vclock.Vector
+	sentStable    vclock.Vector
+	notify        chan struct{}
+	stop          chan struct{}
+	stopOnce      sync.Once
+}
+
+// signal wakes the subscription's push worker (no-op if already signalled).
+func (s *subscription) signal() {
+	if s.notify == nil {
+		return
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// replOutbox is one peer's bounded replication queue, drained by a dedicated
+// sender goroutine that coalesces runs of transactions into wire.ReplBatch
+// frames (one state-vector clone per batch instead of per transaction).
+type replOutbox struct {
+	peerIdx int
+	peer    string
+	ch      chan *txn.Transaction
 }
 
 // DC is one data centre.
@@ -113,11 +174,28 @@ type DC struct {
 	capacity chan struct{} // nil when the service-time model is off
 	journal  *wal.Log      // nil when persistence is off
 
+	// walMu guards the sticky WAL error (see LastWALError); WAL failures
+	// must not take the DC down mid-protocol, but they must be observable.
+	walMu  sync.Mutex
+	walErr error
+
+	// outboxes are the per-peer replication queues (pipelined mode; created
+	// in SetPeers under d.mu). replDepth/pushDepth mirror the queue depths
+	// for the obs gauges without taking locks.
+	outboxes  map[int]*replOutbox
+	replDepth atomic.Int64
+	pushDepth atomic.Int64
+	// pipeStop stops every sender and push worker; pipeWG waits for them.
+	pipeStop chan struct{}
+	pipeWG   sync.WaitGroup
+
 	// Instrumentation handles (nil-safe no-ops when Config.Obs is unset).
 	obsEdgeCommits *obs.Counter
 	obsEdgeNacks   *obs.Counter
 	obsReplRx      *obs.Counter
+	obsWALErrors   *obs.Counter
 	obsPushBatch   *obs.Histogram
+	obsReplBatch   *obs.Histogram
 	obsReplLat     *obs.Histogram
 
 	stopHeartbeat chan struct{}
@@ -148,6 +226,12 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ReplOutbox <= 0 {
+		cfg.ReplOutbox = 4096
+	}
+	if cfg.ReplBatchMax <= 0 {
+		cfg.ReplBatchMax = 128
+	}
 	d := &DC{
 		cfg:           cfg,
 		coord:         coord,
@@ -157,6 +241,8 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		byDot:         make(map[vclock.Dot]*txn.Transaction),
 		subs:          make(map[string]*subscription),
 		masked:        make(map[vclock.Dot]*txn.Transaction),
+		outboxes:      make(map[int]*replOutbox),
+		pipeStop:      make(chan struct{}),
 		stopHeartbeat: make(chan struct{}),
 		heartbeatDone: make(chan struct{}),
 	}
@@ -164,8 +250,16 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		d.obsEdgeCommits = cfg.Obs.Counter("dc.edge_commits")
 		d.obsEdgeNacks = cfg.Obs.Counter("dc.edge_nacks")
 		d.obsReplRx = cfg.Obs.Counter("dc.repl_rx")
+		d.obsWALErrors = cfg.Obs.Counter("dc.wal_errors")
 		d.obsPushBatch = cfg.Obs.Histogram("dc.push_batch_txs")
+		d.obsReplBatch = cfg.Obs.Histogram("dc.repl_batch_txs")
 		d.obsReplLat = cfg.Obs.Histogram("dc.repl_propagation_ns")
+		cfg.Obs.RegisterGauge("dc.repl_outbox_depth", obs.AggSum, func() int64 {
+			return d.replDepth.Load()
+		})
+		cfg.Obs.RegisterGauge("dc.push_outbox_depth", obs.AggSum, func() int64 {
+			return d.pushDepth.Load()
+		})
 		coord.SetObs(cfg.Obs)
 	}
 	if cfg.AutoAdvanceThreshold > 0 {
@@ -188,7 +282,15 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		if err := d.recover(); err != nil {
 			return nil, fmt.Errorf("dc: recover %s: %w", cfg.Name, err)
 		}
-		logFile, err := wal.Open(cfg.DataDir, cfg.Name+".wal")
+		logFile, err := wal.OpenWithOptions(cfg.DataDir, cfg.Name+".wal", wal.Options{
+			// The pipelined path batches WAL appends behind a single group-
+			// commit writer; inline mode keeps the legacy buffered appends.
+			GroupCommit:  !cfg.Inline,
+			SyncEvery:    cfg.WALSyncEvery,
+			SyncInterval: cfg.WALSyncInterval,
+			OnError:      d.noteWALError,
+			Obs:          cfg.Obs,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -203,13 +305,69 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 	return d, nil
 }
 
-// SetPeers wires the other DCs (index → network node name).
+// SetPeers wires the other DCs (index → network node name). In pipelined
+// mode it also creates one bounded outbox plus sender goroutine per peer;
+// commitAt enqueues onto these and the senders coalesce runs of pending
+// transactions into wire.ReplBatch frames.
 func (d *DC) SetPeers(peers map[int]string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for idx, name := range peers {
-		if idx != d.cfg.Index {
-			d.peers[idx] = name
+		if idx == d.cfg.Index {
+			continue
+		}
+		d.peers[idx] = name
+		if d.cfg.Inline || d.outboxes[idx] != nil || d.closed {
+			continue
+		}
+		o := &replOutbox{peerIdx: idx, peer: name, ch: make(chan *txn.Transaction, d.cfg.ReplOutbox)}
+		d.outboxes[idx] = o
+		d.pipeWG.Add(1)
+		go d.runReplSender(o)
+	}
+}
+
+// runReplSender drains one peer's outbox: it blocks for the first pending
+// transaction, greedily coalesces whatever else is queued (up to
+// ReplBatchMax) into a single ReplBatch with one state-vector clone, and
+// ships it. Per-peer FIFO (outbox order = commit order, simnet links are
+// FIFO) preserves the causal order of this DC's own commits.
+func (d *DC) runReplSender(o *replOutbox) {
+	defer d.pipeWG.Done()
+	for {
+		select {
+		case <-d.pipeStop:
+			return
+		case t := <-o.ch:
+			batch := make([]*txn.Transaction, 1, d.cfg.ReplBatchMax)
+			batch[0] = t
+		fill:
+			for len(batch) < d.cfg.ReplBatchMax {
+				select {
+				case t2 := <-o.ch:
+					batch = append(batch, t2)
+				default:
+					break fill
+				}
+			}
+			d.replDepth.Add(-int64(len(batch)))
+			d.obsReplBatch.Observe(int64(len(batch)))
+			msg := wire.ReplBatch{From: d.cfg.Index, Txs: batch, State: d.State(), SentAt: time.Now()}
+			_ = d.node.Send(o.peer, msg) // partitions heal via anti-entropy
+		}
+	}
+}
+
+// enqueueRepl fans a committed transaction out to every peer outbox. A full
+// outbox back-pressures the committer (blocking send) instead of dropping;
+// pipeStop keeps a blocked committer from deadlocking against Close.
+func (d *DC) enqueueRepl(outs []*replOutbox, cp *txn.Transaction) {
+	for _, o := range outs {
+		select {
+		case o.ch <- cp:
+			d.replDepth.Add(1)
+		case <-d.pipeStop:
+			return
 		}
 	}
 }
@@ -224,7 +382,8 @@ func (d *DC) SetVisibilityCheck(check func(*txn.Transaction) bool) {
 	d.visible = check
 }
 
-// Close stops the DC's background work and flushes the write-ahead log.
+// Close stops the DC's background work (heartbeat, replication senders,
+// push workers) and flushes the write-ahead log.
 func (d *DC) Close() {
 	d.mu.Lock()
 	if d.closed {
@@ -236,6 +395,8 @@ func (d *DC) Close() {
 	d.mu.Unlock()
 	close(d.stopHeartbeat)
 	<-d.heartbeatDone
+	close(d.pipeStop)
+	d.pipeWG.Wait()
 	if journal != nil {
 		_ = journal.Close()
 	}
@@ -262,14 +423,63 @@ func (d *DC) recover() error {
 	})
 }
 
-// persist appends a transaction to the write-ahead log (best effort: an I/O
-// error must not take the DC down mid-protocol, but it is surfaced once via
-// the returned flag for monitoring).
+// persist appends a locally accepted transaction to the write-ahead log.
+// With SyncWrites it returns only after the append's group-commit batch is
+// durable (one shared fsync per batch); otherwise it is fire-and-forget. An
+// I/O error must not take the DC down mid-protocol, so failures are counted
+// (dc.wal_errors) and kept via LastWALError instead of propagating.
 func (d *DC) persist(t *txn.Transaction) {
 	if d.journal == nil {
 		return
 	}
-	_ = d.journal.Append(t)
+	var err error
+	if d.cfg.SyncWrites {
+		err = d.journal.AppendWait(t)
+	} else {
+		err = d.journal.Append(t)
+	}
+	if err != nil {
+		d.noteWALError(err)
+	}
+}
+
+// persistReplicated appends a peer-replicated transaction. It never waits
+// for durability, even under SyncWrites: replicated transactions are
+// recoverable from their origin DC via anti-entropy, and the apply path
+// calls this while holding d.mu, where an fsync wait would stall commits.
+func (d *DC) persistReplicated(t *txn.Transaction) {
+	if d.journal == nil {
+		return
+	}
+	if err := d.journal.Append(t); err != nil {
+		d.noteWALError(err)
+	}
+}
+
+// noteWALError counts a WAL failure and keeps the first one for
+// LastWALError. It doubles as the journal's asynchronous OnError observer,
+// so the same underlying failure may be counted more than once (once per
+// observation); the counter signals trouble, the sticky error identifies it.
+func (d *DC) noteWALError(err error) {
+	if err == nil {
+		return
+	}
+	d.obsWALErrors.Inc()
+	d.walMu.Lock()
+	if d.walErr == nil {
+		d.walErr = err
+	}
+	d.walMu.Unlock()
+}
+
+// LastWALError reports the first write-ahead-log append/flush/fsync failure
+// observed since the DC started, or nil. It is sticky: persistence errors
+// are swallowed on the hot path (the DC keeps serving), so monitoring must
+// be able to see that the log is no longer trustworthy.
+func (d *DC) LastWALError() error {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	return d.walErr
 }
 
 // Name returns the DC's network node name.
@@ -328,10 +538,12 @@ func (d *DC) handle(from string, msg any) any {
 			time.Sleep(d.cfg.ServiceTime)
 			defer func() { <-d.capacity }()
 		}
-	case wire.ReplTx:
-		// Applying a replicated transaction costs a fraction of a client
-		// request; this is what keeps N DCs from scaling capacity N× for
-		// write-heavy workloads.
+	case wire.ReplTx, wire.ReplBatch:
+		// Applying replicated traffic costs a fraction of a client request;
+		// this is what keeps N DCs from scaling capacity N× for write-heavy
+		// workloads. The cost is per frame, not per transaction — coalesced
+		// batches amortise the receive overhead, which is exactly the win
+		// the pipelined sender buys.
 		if d.capacity != nil {
 			d.capacity <- struct{}{}
 			time.Sleep(d.cfg.ServiceTime / 4)
@@ -340,6 +552,10 @@ func (d *DC) handle(from string, msg any) any {
 	}
 	switch m := msg.(type) {
 	case wire.ReplTx:
+		// Single-transaction compatibility envelope (older peers, tests).
+		d.receiveReplicated(wire.ReplBatch{From: m.From, Txs: []*txn.Transaction{m.Tx}, State: m.State, SentAt: m.SentAt})
+		return nil
+	case wire.ReplBatch:
 		d.receiveReplicated(m)
 		return nil
 	case wire.ReplHeartbeat:
@@ -348,10 +564,8 @@ func (d *DC) handle(from string, msg any) any {
 		d.updateSubscribersLocked()
 		resend, peer := d.antiEntropyLocked(m)
 		d.mu.Unlock()
-		for _, msg := range resend {
-			if d.node.Send(peer, msg) != nil {
-				break
-			}
+		if len(resend.Txs) > 0 && peer != "" {
+			_ = d.node.Send(peer, resend)
 		}
 		return nil
 	case wire.EdgeCommit:
@@ -467,7 +681,10 @@ func (d *DC) commitLocal(t *txn.Transaction) (vclock.CommitStamps, error) {
 
 // commitAt runs the 2PC for a transaction (local or edge-originated),
 // assigning the commit timestamp from the DC sequencer, then records and
-// replicates it.
+// replicates it. Pipelined, the replication leg is a per-peer outbox
+// enqueue (the senders build and ship coalesced batches) and the push leg
+// is an outbox append drained by per-subscriber workers, so the commit
+// critical path holds d.mu only for the bookkeeping writes.
 func (d *DC) commitAt(t *txn.Transaction) (vclock.CommitStamps, error) {
 	stamps, err := d.coord.Commit(t, func(maxPrepare uint64) (int, uint64) {
 		d.mu.Lock()
@@ -488,11 +705,32 @@ func (d *DC) commitAt(t *txn.Transaction) (vclock.CommitStamps, error) {
 	d.state = t.Commit.JoinInto(d.state, t.Snapshot)
 	d.recordLocked(t)
 	d.mesh.ObserveSelf(d.state)
-	peers, repl := d.replMsgLocked(t)
+	var (
+		inlinePeers []string
+		inlineMsg   wire.ReplTx
+		outs        []*replOutbox
+		cp          *txn.Transaction
+	)
+	if d.cfg.Inline {
+		inlinePeers, inlineMsg = d.replMsgLocked(t)
+	} else if len(d.outboxes) > 0 {
+		// One clone shared by every peer's batch (the wire contract treats
+		// in-flight transactions as immutable), collected under d.mu so a
+		// concurrent SetPeers cannot race the map.
+		cp = t.Clone()
+		outs = make([]*replOutbox, 0, len(d.outboxes))
+		for _, o := range d.outboxes {
+			outs = append(outs, o)
+		}
+	}
 	d.updateSubscribersLocked()
 	d.mu.Unlock()
-	for _, p := range peers {
-		_ = d.node.Send(p, repl)
+	if d.cfg.Inline {
+		for _, p := range inlinePeers {
+			_ = d.node.Send(p, inlineMsg)
+		}
+	} else if cp != nil {
+		d.enqueueRepl(outs, cp)
 	}
 	return stamps.Clone(), nil
 }
@@ -534,27 +772,51 @@ func (d *DC) replMsgLocked(t *txn.Transaction) ([]string, wire.ReplTx) {
 
 // antiEntropyLocked finds own-accepted transactions the heartbeat sender is
 // missing, so commits broadcast into a partition are retransmitted after the
-// partition heals. Duplicates on the receiving side are filtered by dot.
-func (d *DC) antiEntropyLocked(m wire.ReplHeartbeat) ([]wire.ReplTx, string) {
+// partition heals. Duplicates on the receiving side are filtered by dot. The
+// resends ride one ReplBatch: the state vector and send stamp are built once
+// per round, not once per resent transaction (the old path cloned the state
+// up to 256 times per heartbeat).
+func (d *DC) antiEntropyLocked(m wire.ReplHeartbeat) (wire.ReplBatch, string) {
 	peer := d.peers[m.From]
 	if peer == "" {
-		return nil, ""
+		return wire.ReplBatch{}, ""
 	}
-	var out []wire.ReplTx
+	var txs []*txn.Transaction
 	for _, t := range d.replLog {
 		ts, ours := t.Commit[d.cfg.Index]
 		if !ours || ts <= m.State.Get(d.cfg.Index) {
 			continue
 		}
-		out = append(out, wire.ReplTx{From: d.cfg.Index, Tx: t.Clone(), State: d.state.Clone(), SentAt: time.Now()})
-		if len(out) >= 256 { // bound each round; the next heartbeat continues
+		txs = append(txs, t.Clone())
+		if len(txs) >= 256 { // bound each round; the next heartbeat continues
 			break
 		}
 	}
-	return out, peer
+	if len(txs) == 0 {
+		return wire.ReplBatch{}, peer
+	}
+	return wire.ReplBatch{From: d.cfg.Index, Txs: txs, State: d.state.Clone(), SentAt: time.Now()}, peer
 }
 
 // --- edge transaction acceptance (paper §3.7) ---
+
+// stampOf picks the concrete commit coordinate advertised in an
+// EdgeCommitAck: the stamp of the lowest DC index present. A committed
+// transaction normally carries exactly one concrete stamp, but when it
+// carries several (snapshot joins folded in), map iteration order must not
+// decide — re-acking the same dot twice has to name the same coordinate.
+func stampOf(stamps vclock.CommitStamps) (int, uint64) {
+	found := false
+	var dc int
+	var ts uint64
+	for idx, t := range stamps {
+		if !found || idx < dc {
+			found = true
+			dc, ts = idx, t
+		}
+	}
+	return dc, ts
+}
 
 // acceptEdgeTx handles an asynchronously committed edge transaction.
 func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
@@ -568,10 +830,7 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 	// DC already knows; the dot filter keeps effects exactly-once.
 	if prev, ok := d.byDot[t.Dot]; ok {
 		ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
-		for dc, ts := range prev.Commit {
-			ack.DCIndex, ack.Ts = dc, ts
-			break
-		}
+		ack.DCIndex, ack.Ts = stampOf(prev.Commit)
 		d.mu.Unlock()
 		return ack
 	}
@@ -595,10 +854,7 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 			prev, ok := d.byDot[t.Dot]
 			ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
 			if ok {
-				for dc, ts := range prev.Commit {
-					ack.DCIndex, ack.Ts = dc, ts
-					break
-				}
+				ack.DCIndex, ack.Ts = stampOf(prev.Commit)
 			}
 			d.mu.Unlock()
 			if ok {
@@ -610,18 +866,18 @@ func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
 	}
 	d.obsEdgeCommits.Inc()
 	ack := wire.EdgeCommitAck{Dot: t.Dot, Stable: d.mesh.KStable(d.cfg.K)}
-	for dc, ts := range stamps {
-		ack.DCIndex, ack.Ts = dc, ts
-	}
+	ack.DCIndex, ack.Ts = stampOf(stamps)
 	return ack
 }
 
 // --- replication receive path ---
 
-// receiveReplicated applies transactions replicated from a peer DC once
-// their causal dependencies are satisfied.
-func (d *DC) receiveReplicated(m wire.ReplTx) {
-	d.obsReplRx.Inc()
+// receiveReplicated applies a batch of transactions replicated from a peer
+// DC once their causal dependencies are satisfied. The whole batch is
+// admitted in one mesh call and applied under one d.mu acquisition, so a
+// coalesced batch of N transactions pays the lock/mesh overhead once.
+func (d *DC) receiveReplicated(m wire.ReplBatch) {
+	d.obsReplRx.Add(int64(len(m.Txs)))
 	if !m.SentAt.IsZero() {
 		d.obsReplLat.Observe(int64(time.Since(m.SentAt)))
 	}
@@ -631,14 +887,21 @@ func (d *DC) receiveReplicated(m wire.ReplTx) {
 		d.mu.Unlock()
 		return
 	}
-	var ready []*txn.Transaction
-	if _, dup := d.byDot[m.Tx.Dot]; dup {
-		ready = d.mesh.Admit(nil, d.state)
-	} else {
-		// Clone: the sender's record (and other recipients') must not share
-		// mutable state with this DC's log.
-		ready = d.mesh.Admit(m.Tx.Clone(), d.state)
+	// Clone non-duplicates: the sender's record (and other recipients') must
+	// not share mutable state with this DC's log. Duplicate or partially
+	// overlapping batches (anti-entropy rounds racing the live stream) are
+	// filtered by dot here and again after admission.
+	incoming := make([]*txn.Transaction, 0, len(m.Txs))
+	for _, t := range m.Txs {
+		if t == nil {
+			continue
+		}
+		if _, dup := d.byDot[t.Dot]; dup {
+			continue
+		}
+		incoming = append(incoming, t.Clone())
 	}
+	ready := d.mesh.AdmitBatch(incoming, d.state)
 	for _, t := range ready {
 		if _, dup := d.byDot[t.Dot]; dup {
 			continue
@@ -646,7 +909,7 @@ func (d *DC) receiveReplicated(m wire.ReplTx) {
 		if err := d.coord.ApplyCommitted(t); err != nil && !errors.Is(err, store.ErrDuplicate) {
 			continue // skip malformed transaction, keep the DC alive
 		}
-		d.persist(t)
+		d.persistReplicated(t)
 		d.lamport.Witness(t.Dot.Seq)
 		d.state = t.Commit.JoinInto(d.state, t.Snapshot)
 		d.recordLocked(t)
@@ -690,20 +953,21 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 			}
 			sub.logIdx++
 		}
+		if !d.cfg.Inline && !d.closed {
+			sub.pendingStable = start.Clone()
+			sub.sentStable = start.Clone()
+			sub.notify = make(chan struct{}, 1)
+			sub.stop = make(chan struct{})
+			d.pipeWG.Add(1)
+			go d.runPushWorker(sub)
+		}
 		d.subs[m.Node] = sub
 	} else if m.Resume && !sub.stable.LEQ(m.Since) {
 		// Reconnection of a live subscription with a cut behind our cursor:
 		// rewind so pushes lost during the disconnection are replayed. When
 		// the subscriber is already at or ahead of the cursor, nothing was
 		// lost and the (linear) rewind scan is skipped.
-		sub.stable = m.Since.Clone()
-		sub.logIdx = 0
-		for _, t := range d.log {
-			if !t.VisibleAt(m.Since) {
-				break
-			}
-			sub.logIdx++
-		}
+		d.rewindSubLocked(sub, m.Since)
 	}
 	// Seeds are materialised at the *current* stable cut, never at the
 	// (possibly rewound) subscription cursor: the cut must dominate every
@@ -711,13 +975,62 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 	// update skipped on arrival is guaranteed to be covered by the seed.
 	seedCut := d.mesh.KStable(d.cfg.K)
 	ack := wire.SubscribeAck{Stable: sub.stable.Clone()}
+	sub.outMu.Lock()
 	for _, id := range m.Objects {
 		sub.interest[id] = true
+	}
+	if sub.sentStable != nil {
+		// Pipelined, advertise the cut last actually handed to the network,
+		// not the outbox cursor: the inline path guaranteed every push at or
+		// below ack.Stable was sent before the reply (FIFO links then deliver
+		// them first), and visibility at the edge must not outrun delivery.
+		ack.Stable = sub.sentStable.Clone()
+	}
+	sub.outMu.Unlock()
+	for _, id := range m.Objects {
 		ack.Objects = append(ack.Objects, d.materializeLocked(id, seedCut))
 	}
 	d.updateSubscribersLocked()
 	d.mu.Unlock()
 	return ack
+}
+
+// rewindSubLocked moves a subscriber's cursor back to cut so the log above it
+// is replayed (duplicates are filtered by dot downstream). Pipelined, the
+// outbox is discarded too: its contents are above the new cursor and will be
+// rescanned, and replaying them from the old cursor first would break the
+// causal order of the push stream. Called with d.mu held.
+func (d *DC) rewindSubLocked(sub *subscription, cut vclock.Vector) {
+	sub.stable = cut.Clone()
+	sub.logIdx = 0
+	for _, t := range d.log {
+		if !t.VisibleAt(cut) {
+			break
+		}
+		sub.logIdx++
+	}
+	if d.cfg.Inline {
+		return
+	}
+	sub.outMu.Lock()
+	d.pushDepth.Add(-int64(len(sub.pending)))
+	sub.pending = nil
+	sub.pendingStable = cut.Clone()
+	sub.sentStable = cut.Clone()
+	sub.outMu.Unlock()
+}
+
+// dropSubLocked removes a subscription and stops its push worker. Called with
+// d.mu held.
+func (d *DC) dropSubLocked(sub *subscription) {
+	delete(d.subs, sub.node)
+	if sub.stop != nil {
+		sub.stopOnce.Do(func() { close(sub.stop) })
+	}
+	sub.outMu.Lock()
+	d.pushDepth.Add(-int64(len(sub.pending)))
+	sub.pending = nil
+	sub.outMu.Unlock()
 }
 
 // unsubscribe shrinks an interest set (or drops the subscription entirely
@@ -730,14 +1043,17 @@ func (d *DC) unsubscribe(m wire.Unsubscribe) {
 		return
 	}
 	if len(m.Objects) == 0 {
-		delete(d.subs, m.Node)
+		d.dropSubLocked(sub)
 		return
 	}
+	sub.outMu.Lock()
 	for _, id := range m.Objects {
 		delete(sub.interest, id)
 	}
-	if len(sub.interest) == 0 {
-		delete(d.subs, m.Node)
+	empty := len(sub.interest) == 0
+	sub.outMu.Unlock()
+	if empty {
+		d.dropSubLocked(sub)
 	}
 }
 
@@ -762,18 +1078,13 @@ func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) an
 		// otherwise the push cursor could advance past a transaction
 		// touching this object between the fetch and the (asynchronous)
 		// subscription, losing it for good.
+		sub.outMu.Lock()
 		sub.interest[id] = true
+		sub.outMu.Unlock()
 		if !sub.stable.LEQ(cut) {
 			// The cursor is ahead of the served cut: rewind so the gap is
 			// replayed (duplicates are filtered downstream).
-			sub.stable = cut.Clone()
-			sub.logIdx = 0
-			for _, t := range d.log {
-				if !t.VisibleAt(cut) {
-					break
-				}
-				sub.logIdx++
-			}
+			d.rewindSubLocked(sub, cut)
 		}
 	}
 	return d.materializeLocked(id, cut)
@@ -788,15 +1099,26 @@ func (d *DC) materializeLocked(id txn.ObjectID, at vclock.Vector) wire.ObjectSta
 	return wire.ObjectState{ID: id, Kind: obj.Kind(), Object: obj, Vec: at.Clone()}
 }
 
-// updateSubscribersLocked pushes newly K-stable transactions to subscribers
-// in causal (log) order. The scan stops at the first not-yet-stable
-// transaction so pushes never reorder causally related updates.
+// updateSubscribersLocked advances every subscriber's cursor over the newly
+// K-stable suffix of the log, in causal (log) order. The scan stops at the
+// first not-yet-stable transaction so pushes never reorder causally related
+// updates.
+//
+// Pipelined (the default), the scan only appends the unfiltered run to the
+// subscriber's outbox and wakes its worker; interest filtering, message
+// construction, and the network send all happen on the worker, outside d.mu,
+// so a slow or saturated edge link cannot stall commits. Inline, the legacy
+// behaviour — filter and send under d.mu — is preserved for A/B comparison.
 func (d *DC) updateSubscribersLocked() {
 	if len(d.subs) == 0 {
 		return
 	}
 	stable := d.mesh.KStable(d.cfg.K)
 	for _, sub := range d.subs {
+		if d.cfg.Inline {
+			d.pushInlineLocked(sub, stable)
+			continue
+		}
 		var batch []*txn.Transaction
 		idx := sub.logIdx
 		for idx < len(d.log) {
@@ -805,26 +1127,106 @@ func (d *DC) updateSubscribersLocked() {
 				break
 			}
 			idx++
+			batch = append(batch, t) // unfiltered; the worker restricts
+		}
+		// KStable is monotone, so sub.stable (a previous cut) is always ≤
+		// stable; enqueue when there is anything new to say.
+		if len(batch) == 0 && sub.stable.Equal(stable) {
+			continue
+		}
+		sub.logIdx = idx
+		sub.stable = stable.Clone()
+		sub.outMu.Lock()
+		sub.pending = append(sub.pending, batch...)
+		sub.pendingStable = sub.stable
+		sub.outMu.Unlock()
+		d.pushDepth.Add(int64(len(batch)))
+		sub.signal()
+	}
+}
+
+// pushInlineLocked is the pre-pipeline push: filter and send under d.mu.
+func (d *DC) pushInlineLocked(sub *subscription, stable vclock.Vector) {
+	var batch []*txn.Transaction
+	idx := sub.logIdx
+	for idx < len(d.log) {
+		t := d.log[idx]
+		if !t.VisibleAt(stable) {
+			break
+		}
+		idx++
+		filtered := t.Restrict(func(u txn.Update) bool { return sub.interest[u.Object] })
+		if len(filtered.Updates) > 0 {
+			batch = append(batch, filtered)
+		}
+	}
+	if len(batch) == 0 && sub.stable.Equal(stable) {
+		return
+	}
+	msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
+	d.obsPushBatch.Observe(int64(len(batch)))
+	if err := d.node.Send(sub.node, msg); err != nil {
+		// Subscriber unreachable (offline or migrated): leave the cursor
+		// in place; the next trigger retries, and a Resume subscribe
+		// rewinds it if the node reconnects elsewhere.
+		return
+	}
+	sub.logIdx = idx
+	sub.stable = stable.Clone()
+}
+
+// runPushWorker drains one subscriber's outbox until the subscription or the
+// DC is torn down.
+func (d *DC) runPushWorker(sub *subscription) {
+	defer d.pipeWG.Done()
+	for {
+		select {
+		case <-d.pipeStop:
+			return
+		case <-sub.stop:
+			return
+		case <-sub.notify:
+			d.flushSub(sub)
+		}
+	}
+}
+
+// flushSub filters and ships everything pending for one subscriber. outMu is
+// held across the pop+send so a concurrent rewind (subscribe with Resume,
+// fetchObject, RecheckVisibility) can never interleave between consuming the
+// outbox and handing its contents to the network; sends themselves only
+// schedule delivery, so the hold is short. Transactions whose interest
+// restriction is empty are dropped here — same fate the inline path gave
+// them at scan time.
+func (d *DC) flushSub(sub *subscription) {
+	sub.outMu.Lock()
+	defer sub.outMu.Unlock()
+	for len(sub.pending) > 0 || (sub.pendingStable != nil && !sub.pendingStable.Equal(sub.sentStable)) {
+		pending := sub.pending
+		sub.pending = nil
+		stable := sub.pendingStable
+		d.pushDepth.Add(-int64(len(pending)))
+		var batch []*txn.Transaction
+		for _, t := range pending {
 			filtered := t.Restrict(func(u txn.Update) bool { return sub.interest[u.Object] })
 			if len(filtered.Updates) > 0 {
 				batch = append(batch, filtered)
 			}
 		}
-		// KStable is monotone, so sub.stable (a previous cut) is always ≤
-		// stable; push when there is anything new to say.
-		if len(batch) == 0 && sub.stable.Equal(stable) {
+		if len(batch) == 0 && stable.Equal(sub.sentStable) {
 			continue
 		}
 		msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
 		d.obsPushBatch.Observe(int64(len(batch)))
 		if err := d.node.Send(sub.node, msg); err != nil {
-			// Subscriber unreachable (offline or migrated): leave the cursor
-			// in place; the next trigger retries, and a Resume subscribe
-			// rewinds it if the node reconnects elsewhere.
-			continue
+			// Subscriber unreachable: requeue and stop; the next commit or
+			// heartbeat signals a retry, and a Resume subscribe rewinds the
+			// cursor if the node reconnects elsewhere.
+			sub.pending = append(pending, sub.pending...)
+			d.pushDepth.Add(int64(len(pending)))
+			return
 		}
-		sub.logIdx = idx
-		sub.stable = stable.Clone()
+		sub.sentStable = stable.Clone()
 	}
 }
 
@@ -882,9 +1284,18 @@ func (d *DC) RecheckVisibility() {
 	}
 	// Rewind every subscriber to the start of the log: retroactively
 	// unmasked transactions were never delivered, and subscribers
-	// deduplicate replays by dot.
+	// deduplicate replays by dot. Pipelined outboxes are discarded — they may
+	// hold transactions the new policy masks, and the rescan below re-enqueues
+	// everything still visible.
 	for _, sub := range d.subs {
 		sub.logIdx = 0
+		if d.cfg.Inline {
+			continue
+		}
+		sub.outMu.Lock()
+		d.pushDepth.Add(-int64(len(sub.pending)))
+		sub.pending = nil
+		sub.outMu.Unlock()
 	}
 	d.updateSubscribersLocked()
 }

@@ -1,0 +1,69 @@
+package replication
+
+import (
+	"testing"
+
+	"colony/internal/txn"
+	"colony/internal/vclock"
+)
+
+func TestAdmitBatchDrainsInCausalOrder(t *testing.T) {
+	m := NewMesh(0, 2)
+	// A coalesced batch arriving with its members already in commit order —
+	// the common case from a per-peer sender.
+	batch := []*txn.Transaction{
+		tx("dc1", 1, vclock.Vector{0, 0}, 1, 1),
+		tx("dc1", 2, vclock.Vector{0, 1}, 1, 2),
+		tx("dc1", 3, vclock.Vector{0, 2}, 1, 3),
+	}
+	ready := m.AdmitBatch(batch, vclock.Vector{0, 0})
+	if len(ready) != 3 {
+		t.Fatalf("ready = %d txs, want 3", len(ready))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if ready[i].Dot.Seq != want {
+			t.Fatalf("order: got seq %d at %d", ready[i].Dot.Seq, i)
+		}
+	}
+	if m.PendingCount() != 0 {
+		t.Fatalf("pending = %d", m.PendingCount())
+	}
+}
+
+func TestAdmitBatchHoldsBackAndJoinsLaterBatch(t *testing.T) {
+	m := NewMesh(0, 2)
+	// An anti-entropy round races ahead of the live stream: the tail of the
+	// peer's log arrives before the head. Nothing may release early, and the
+	// head batch must drain everything in causal order.
+	tail := []*txn.Transaction{tx("dc1", 3, vclock.Vector{0, 2}, 1, 3)}
+	if got := m.AdmitBatch(tail, vclock.Vector{0, 0}); len(got) != 0 {
+		t.Fatalf("tail released early: %v", got)
+	}
+	if m.PendingCount() != 1 {
+		t.Fatalf("pending = %d", m.PendingCount())
+	}
+	head := []*txn.Transaction{
+		tx("dc1", 1, vclock.Vector{0, 0}, 1, 1),
+		tx("dc1", 2, vclock.Vector{0, 1}, 1, 2),
+	}
+	ready := m.AdmitBatch(head, vclock.Vector{0, 0})
+	if len(ready) != 3 {
+		t.Fatalf("ready = %d txs, want 3", len(ready))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if ready[i].Dot.Seq != want {
+			t.Fatalf("order: got seq %d at %d", ready[i].Dot.Seq, i)
+		}
+	}
+}
+
+func TestAdmitBatchSkipsNilEntries(t *testing.T) {
+	m := NewMesh(0, 2)
+	batch := []*txn.Transaction{nil, tx("dc1", 1, vclock.Vector{0, 0}, 1, 1), nil}
+	if got := m.AdmitBatch(batch, vclock.Vector{0, 0}); len(got) != 1 {
+		t.Fatalf("ready = %d txs, want 1", len(got))
+	}
+	if got := m.AdmitBatch(nil, vclock.Vector{0, 1}); len(got) != 0 {
+		t.Fatalf("empty batch released %d txs", len(got))
+	}
+}

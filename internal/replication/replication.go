@@ -63,10 +63,25 @@ func (m *Mesh) ObservePeer(peer int, state vclock.Vector) {
 // snapshot (paper §3.5). FIFO links deliver each DC's own commits in order,
 // and the pending queue holds back anything that raced ahead.
 func (m *Mesh) Admit(t *txn.Transaction, localState vclock.Vector) []*txn.Transaction {
+	if t == nil {
+		return m.AdmitBatch(nil, localState)
+	}
+	return m.AdmitBatch([]*txn.Transaction{t}, localState)
+}
+
+// AdmitBatch offers a whole replication batch for application in one mesh
+// call: all offered transactions join the pending set, then readiness is
+// evaluated once. Per-peer senders coalesce runs of transactions, so this
+// amortises the mesh lock and the drain scan over the batch instead of
+// paying them per transaction. Nil entries are skipped. The returned
+// transactions are ready to apply, in a causally safe order.
+func (m *Mesh) AdmitBatch(txs []*txn.Transaction, localState vclock.Vector) []*txn.Transaction {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if t != nil {
-		m.pending = append(m.pending, t)
+	for _, t := range txs {
+		if t != nil {
+			m.pending = append(m.pending, t)
+		}
 	}
 	return m.drainLocked(localState)
 }

@@ -36,6 +36,26 @@ var (
 // later deliveries to the same node only if they share a link.
 type Handler func(from string, msg any) any
 
+// Batch is implemented by messages that stand for several logical messages
+// coalesced into one network frame (replication and push batches). The
+// network counts net.sent/delivered per frame and net.sent_units /
+// net.delivered_units per constituent unit, so experiments can report both
+// frame savings and logical throughput.
+type Batch interface {
+	Units() int
+}
+
+// unitsOf returns the logical message count of a payload (1 for plain
+// messages).
+func unitsOf(msg any) int64 {
+	if b, ok := msg.(Batch); ok {
+		if n := b.Units(); n > 1 {
+			return int64(n)
+		}
+	}
+	return 1
+}
+
 // LinkConfig describes one directed link.
 type LinkConfig struct {
 	// Latency is the one-way delay; Jitter adds a uniform random extra in
@@ -81,12 +101,18 @@ type Network struct {
 	delivered atomic.Int64
 	dropped   atomic.Int64
 	inFlight  atomic.Int64
+	// Unit counters track logical messages: a coalesced batch frame counts
+	// once in sent/delivered and len(batch) times here.
+	sentUnits      atomic.Int64
+	deliveredUnits atomic.Int64
 
 	// Instrumentation handles (nil-safe no-ops without a registry).
-	obsSent      *obs.Counter
-	obsDelivered *obs.Counter
-	obsDropped   *obs.Counter
-	bus          *obs.Bus
+	obsSent           *obs.Counter
+	obsDelivered      *obs.Counter
+	obsDropped        *obs.Counter
+	obsSentUnits      *obs.Counter
+	obsDeliveredUnits *obs.Counter
+	bus               *obs.Bus
 }
 
 // link tracks the per-directed-pair state needed for FIFO delivery. Each
@@ -150,6 +176,8 @@ func New(cfg Config) *Network {
 	n.obsSent = cfg.Obs.Counter("net.sent")
 	n.obsDelivered = cfg.Obs.Counter("net.delivered")
 	n.obsDropped = cfg.Obs.Counter("net.dropped")
+	n.obsSentUnits = cfg.Obs.Counter("net.sent_units")
+	n.obsDeliveredUnits = cfg.Obs.Counter("net.delivered_units")
 	n.bus = cfg.Obs.Events()
 	cfg.Obs.RegisterGauge("net.in_flight", obs.AggSum, func() int64 {
 		return n.inFlight.Load()
@@ -258,6 +286,13 @@ func (n *Network) Stats() (sent, delivered int64) {
 	return n.sent.Load(), n.delivered.Load()
 }
 
+// UnitStats returns the total logical messages sent and delivered so far:
+// a coalesced batch frame counts len(batch) units (batch-delivery
+// accounting), a plain message counts one.
+func (n *Network) UnitStats() (sent, delivered int64) {
+	return n.sentUnits.Load(), n.deliveredUnits.Load()
+}
+
 // Dropped returns the number of messages lost to lossy links so far.
 func (n *Network) Dropped() int64 { return n.dropped.Load() }
 
@@ -269,7 +304,7 @@ func (n *Network) InFlight() int64 { return n.inFlight.Load() }
 // return errLostInternal so Call can fail fast while Send stays silent.
 var errLostInternal = errors.New("simnet: lost (internal)")
 
-func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
+func (n *Network) schedule(from, to string, units int64, deliver func(dst *Node)) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -292,6 +327,8 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 		n.mu.Unlock()
 		n.sent.Add(1)
 		n.obsSent.Inc()
+		n.sentUnits.Add(units)
+		n.obsSentUnits.Add(units)
 		n.dropped.Add(1)
 		n.obsDropped.Inc()
 		return errLostInternal
@@ -316,6 +353,8 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 	l.lastAt = deliverAt
 	n.sent.Add(1)
 	n.obsSent.Inc()
+	n.sentUnits.Add(units)
+	n.obsSentUnits.Add(units)
 	n.inFlight.Add(1)
 	l.queue = append(l.queue, delivery{at: deliverAt, fn: func() {
 		n.inFlight.Add(-1)
@@ -327,6 +366,8 @@ func (n *Network) schedule(from, to string, deliver func(dst *Node)) error {
 		}
 		n.delivered.Add(1)
 		n.obsDelivered.Inc()
+		n.deliveredUnits.Add(units)
+		n.obsDeliveredUnits.Add(units)
 		deliver(dst)
 	}})
 	if !l.running {
@@ -366,7 +407,7 @@ func (nd *Node) Name() string { return nd.name }
 // message is silent (nil error), matching datagram semantics; a down link
 // fails fast.
 func (nd *Node) Send(to string, msg any) error {
-	err := nd.net.schedule(nd.name, to, func(dst *Node) {
+	err := nd.net.schedule(nd.name, to, unitsOf(msg), func(dst *Node) {
 		dst.dispatch(nd.name, msg)
 	})
 	if errors.Is(err, errLostInternal) {
@@ -391,7 +432,7 @@ func (nd *Node) Call(ctx context.Context, to string, msg any) (any, error) {
 		nd.mu.Unlock()
 	}()
 
-	err := nd.net.schedule(nd.name, to, func(dst *Node) {
+	err := nd.net.schedule(nd.name, to, unitsOf(msg), func(dst *Node) {
 		dst.dispatch(nd.name, callMsg{id: id, payload: msg})
 	})
 	if err != nil && !errors.Is(err, errLostInternal) {
@@ -412,7 +453,7 @@ func (nd *Node) dispatch(from string, msg any) {
 		reply := nd.invoke(from, m.payload)
 		// Best effort: the reply takes the reverse link; loss or partition
 		// surfaces as a caller timeout.
-		_ = nd.net.schedule(nd.name, from, func(dst *Node) {
+		_ = nd.net.schedule(nd.name, from, unitsOf(reply), func(dst *Node) {
 			dst.dispatch(nd.name, replyMsg{id: m.id, payload: reply})
 		})
 	case replyMsg:

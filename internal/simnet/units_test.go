@@ -1,0 +1,91 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeBatch stands in for a coalesced wire message in unit accounting.
+type fakeBatch struct{ n int }
+
+func (b fakeBatch) Units() int { return b.n }
+
+func TestUnitAccountingCountsBatchContents(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	got := make(chan any, 4)
+	net.AddNode("b", func(_ string, msg any) any {
+		got <- msg
+		return nil
+	})
+	a := net.AddNode("a", nil)
+
+	if err := a.Send("b", fakeBatch{n: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "plain"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(time.Second):
+			t.Fatal("message never delivered")
+		}
+	}
+	frames, framesDelivered := net.Stats()
+	if frames != 2 || framesDelivered != 2 {
+		t.Fatalf("frame stats = %d/%d, want 2/2", frames, framesDelivered)
+	}
+	sent, delivered := net.UnitStats()
+	if sent != 6 || delivered != 6 {
+		t.Fatalf("unit stats = %d/%d, want 6/6 (5-tx batch + 1 plain)", sent, delivered)
+	}
+}
+
+// TestUnitAccountingCountsLostBatches: a dropped frame still counts its units
+// as sent — the sent/delivered gap is the loss signal.
+func TestUnitAccountingCountsLostBatches(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	net.AddNode("b", func(_ string, msg any) any { return nil })
+	a := net.AddNode("a", nil)
+	net.SetLink("a", "b", LinkConfig{Loss: 1})
+
+	if err := a.Send("b", fakeBatch{n: 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if s, _ := net.UnitStats(); s == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sent, delivered := net.UnitStats()
+	if sent != 3 || delivered != 0 {
+		t.Fatalf("unit stats = %d/%d, want 3/0 after total loss", sent, delivered)
+	}
+}
+
+// TestUnitAccountingOnCalls: request and reply each count at least one unit.
+func TestUnitAccountingOnCalls(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	net.AddNode("server", func(_ string, msg any) any { return fakeBatch{n: 4} })
+	client := net.AddNode("client", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, "server", "req"); err != nil {
+		t.Fatal(err)
+	}
+	sent, delivered := net.UnitStats()
+	// 1 unit for the request plus 4 for the batched reply.
+	if sent != 5 || delivered != 5 {
+		t.Fatalf("unit stats = %d/%d, want 5/5", sent, delivered)
+	}
+}

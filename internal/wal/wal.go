@@ -18,8 +18,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"colony/internal/crdt"
+	"colony/internal/obs"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 )
@@ -101,16 +103,70 @@ func decode(r record) (*txn.Transaction, error) {
 	return t, nil
 }
 
+// Options tunes the log's durability pipeline.
+type Options struct {
+	// GroupCommit enables the group-commit pipeline: a single writer
+	// goroutine batches appends from concurrent committers and fsyncs once
+	// per batch, so N concurrent durable appends cost one fsync instead of
+	// N. Without it the log behaves as before: buffered appends, fsync only
+	// on explicit Sync or Close.
+	GroupCommit bool
+	// SyncEvery caps the number of appends coalesced into one fsync batch
+	// (default 64).
+	SyncEvery int
+	// SyncInterval, when positive, lets the writer wait up to this long to
+	// fill a batch after its first append; zero fsyncs whatever is
+	// immediately pending (lowest latency, still batches under load).
+	SyncInterval time.Duration
+	// OnError observes asynchronous append/flush/fsync errors — the ones a
+	// fire-and-forget Append cannot return to its caller. May be called from
+	// the writer goroutine.
+	OnError func(error)
+	// Obs, when non-nil, records wal.fsyncs, wal.appends, wal.batch_txs and
+	// wal.flush_ns for the group-commit pipeline.
+	Obs *obs.Registry
+}
+
+// appendReq is one transaction queued for the group-commit writer. done is
+// nil for fire-and-forget appends; otherwise it receives the batch outcome
+// once the batch is flushed and fsynced.
+type appendReq struct {
+	data []byte
+	done chan error
+}
+
 // Log is an append-only transaction log backed by one file.
 type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	err  error // sticky: first asynchronous write/sync failure
+
+	opts     Options
+	onErr    func(error)
+	reqCh    chan appendReq
+	flushCh  chan chan error
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+
+	// Instrumentation handles (nil-safe no-ops without a registry).
+	obsFsyncs  *obs.Counter
+	obsAppends *obs.Counter
+	obsBatch   *obs.Histogram
+	obsFlushNs *obs.Histogram
 }
 
-// Open creates (or opens for append) the log at dir/name.
+// Open creates (or opens for append) the log at dir/name with default
+// options (no group commit).
 func Open(dir, name string) (*Log, error) {
+	return OpenWithOptions(dir, name, Options{})
+}
+
+// OpenWithOptions creates (or opens for append) the log at dir/name and, if
+// requested, starts its group-commit writer.
+func OpenWithOptions(dir, name string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
@@ -119,25 +175,116 @@ func Open(dir, name string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), path: path}, nil
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 64
+	}
+	l := &Log{f: f, w: bufio.NewWriter(f), path: path, opts: opts, onErr: opts.OnError}
+	l.obsFsyncs = opts.Obs.Counter("wal.fsyncs")
+	l.obsAppends = opts.Obs.Counter("wal.appends")
+	l.obsBatch = opts.Obs.Histogram("wal.batch_txs")
+	l.obsFlushNs = opts.Obs.Histogram("wal.flush_ns")
+	if opts.GroupCommit {
+		l.reqCh = make(chan appendReq, 4*opts.SyncEvery)
+		l.flushCh = make(chan chan error)
+		l.stopCh = make(chan struct{})
+		l.doneCh = make(chan struct{})
+		go l.writerLoop()
+	}
+	return l, nil
 }
 
-// Append durably records one transaction (buffered; call Sync for fsync
-// semantics, or rely on Close).
-func (l *Log) Append(t *txn.Transaction) error {
+// marshal converts a transaction to its JSON line (without the newline).
+func marshal(t *txn.Transaction) ([]byte, error) {
 	r, err := encode(t)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.Marshal(r)
 	if err != nil {
-		return fmt.Errorf("wal: marshal: %w", err)
+		return nil, fmt.Errorf("wal: marshal: %w", err)
 	}
+	return data, nil
+}
+
+// Append records one transaction without waiting for durability. With group
+// commit the append is queued for the writer (errors surface via OnError and
+// Err); without it the write lands in the buffer (call Sync for fsync
+// semantics, or rely on Close).
+func (l *Log) Append(t *txn.Transaction) error {
+	data, err := marshal(t)
+	if err != nil {
+		return err
+	}
+	l.obsAppends.Inc()
+	if l.reqCh != nil {
+		select {
+		case <-l.stopCh:
+			return errors.New("wal: closed")
+		default:
+		}
+		select {
+		case l.reqCh <- appendReq{data: data}:
+			return nil
+		case <-l.stopCh:
+			return errors.New("wal: closed")
+		}
+	}
+	return l.writeDirect(data)
+}
+
+// AppendWait records one transaction and returns only once its batch is
+// durable (flushed and fsynced). With group commit the wait piggybacks on
+// the writer's next batch fsync; without it the append is followed by an
+// immediate Sync.
+func (l *Log) AppendWait(t *txn.Transaction) error {
+	data, err := marshal(t)
+	if err != nil {
+		return err
+	}
+	l.obsAppends.Inc()
+	if l.reqCh != nil {
+		select {
+		case <-l.stopCh:
+			return errors.New("wal: closed")
+		default:
+		}
+		done := make(chan error, 1)
+		select {
+		case l.reqCh <- appendReq{data: data, done: done}:
+		case <-l.stopCh:
+			return errors.New("wal: closed")
+		}
+		select {
+		case err := <-done:
+			return err
+		case <-l.doneCh:
+			// Writer shut down mid-wait; the stop path flushed everything it
+			// had accepted, so report the sticky state.
+			return l.Err()
+		}
+	}
+	if err := l.writeDirect(data); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// writeDirect appends one line under the log lock (non-group-commit mode).
+func (l *Log) writeDirect(data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.w == nil {
 		return errors.New("wal: closed")
 	}
+	if err := l.writeLineLocked(data); err != nil {
+		l.noteErrLocked(err)
+		return err
+	}
+	return nil
+}
+
+// writeLineLocked writes one record line into the buffer. Caller holds l.mu.
+func (l *Log) writeLineLocked(data []byte) error {
 	if _, err := l.w.Write(data); err != nil {
 		return fmt.Errorf("wal: write: %w", err)
 	}
@@ -147,21 +294,167 @@ func (l *Log) Append(t *txn.Transaction) error {
 	return nil
 }
 
-// Sync flushes buffers and fsyncs the file.
-func (l *Log) Sync() error {
+// noteErrLocked records the first failure stickily and reports it to the
+// OnError observer. Caller holds l.mu.
+func (l *Log) noteErrLocked(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	if l.onErr != nil {
+		// Release the lock around the callback? The callback only records
+		// counters; keep it cheap and non-reentrant.
+		l.onErr(err)
+	}
+}
+
+// Err returns the first asynchronous write/flush/fsync failure, if any — the
+// errors a fire-and-forget Append cannot return. Once set it never clears.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// writerLoop is the group-commit writer: it collects runs of queued appends
+// and makes each run durable with a single flush+fsync, then releases every
+// waiter in the batch.
+func (l *Log) writerLoop() {
+	defer close(l.doneCh)
+	for {
+		select {
+		case <-l.stopCh:
+			// Keep draining until the queue is empty so every accepted
+			// append reaches the file before Close flushes it.
+			for {
+				batch := l.drainPending(nil)
+				if len(batch) == 0 {
+					return
+				}
+				l.commitBatch(batch)
+			}
+		case ch := <-l.flushCh:
+			ch <- l.flushSync()
+		case r := <-l.reqCh:
+			batch := l.fillBatch([]appendReq{r})
+			l.commitBatch(batch)
+		}
+	}
+}
+
+// fillBatch grows a batch up to SyncEvery entries, waiting at most
+// SyncInterval (greedy drain when the interval is zero).
+func (l *Log) fillBatch(batch []appendReq) []appendReq {
+	if l.opts.SyncInterval <= 0 {
+		return l.drainPending(batch)
+	}
+	timer := time.NewTimer(l.opts.SyncInterval)
+	defer timer.Stop()
+	for len(batch) < l.opts.SyncEvery {
+		select {
+		case r := <-l.reqCh:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-l.stopCh:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainPending appends every immediately available request, up to SyncEvery.
+func (l *Log) drainPending(batch []appendReq) []appendReq {
+	for len(batch) < l.opts.SyncEvery {
+		select {
+		case r := <-l.reqCh:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch writes, flushes and fsyncs one batch, then signals waiters.
+func (l *Log) commitBatch(batch []appendReq) {
+	if len(batch) == 0 {
+		return
+	}
+	start := time.Now()
+	l.mu.Lock()
+	var err error
+	if l.w == nil {
+		err = errors.New("wal: closed")
+	} else {
+		for _, r := range batch {
+			if err = l.writeLineLocked(r.data); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			if err = l.w.Flush(); err == nil {
+				err = l.f.Sync()
+			}
+		}
+	}
+	if err != nil {
+		l.noteErrLocked(err)
+	}
+	l.mu.Unlock()
+	if err == nil {
+		l.obsFsyncs.Inc()
+		l.obsBatch.Observe(int64(len(batch)))
+		l.obsFlushNs.Observe(int64(time.Since(start)))
+	}
+	for _, r := range batch {
+		if r.done != nil {
+			r.done <- err
+		}
+	}
+}
+
+// flushSync flushes buffers and fsyncs the file (writer goroutine or
+// non-group-commit callers).
+func (l *Log) flushSync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.w == nil {
 		return errors.New("wal: closed")
 	}
 	if err := l.w.Flush(); err != nil {
+		l.noteErrLocked(err)
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		l.noteErrLocked(err)
+		return err
+	}
+	return nil
 }
 
-// Close flushes and closes the log.
+// Sync makes everything appended so far durable. With group commit the
+// request is serialised through the writer so it cannot race a batch write.
+func (l *Log) Sync() error {
+	if l.reqCh != nil {
+		ch := make(chan error, 1)
+		select {
+		case l.flushCh <- ch:
+			return <-ch
+		case <-l.doneCh:
+			// Writer already stopped (Close ran); its stop path flushed.
+			return l.Err()
+		}
+	}
+	return l.flushSync()
+}
+
+// Close stops the group-commit writer (flushing and fsyncing everything it
+// accepted), then flushes and closes the file.
 func (l *Log) Close() error {
+	if l.stopCh != nil {
+		l.stopOnce.Do(func() { close(l.stopCh) })
+		<-l.doneCh
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.w == nil {

@@ -30,6 +30,24 @@ type ReplTx struct {
 	SentAt time.Time
 }
 
+// ReplBatch replicates a run of committed transactions between DCs in one
+// message. Txs are in the sender's commit (causal) order; State piggybacks
+// the sender's state vector once for the whole batch, so coalescing N
+// transactions costs one vector clone instead of N. SentAt stamps the send
+// time for propagation-latency accounting, like ReplTx. The per-peer sender
+// goroutines (dc package) coalesce their outbox into these; anti-entropy
+// retransmissions reuse the same type.
+type ReplBatch struct {
+	From   int // sender's DC index
+	Txs    []*txn.Transaction
+	State  vclock.Vector
+	SentAt time.Time
+}
+
+// Units reports the number of logical messages the batch stands for, for the
+// network substrate's batch-delivery accounting.
+func (b ReplBatch) Units() int { return len(b.Txs) }
+
 // ReplHeartbeat advertises a DC's state vector when there is no traffic, so
 // K-stability keeps advancing.
 type ReplHeartbeat struct {
@@ -122,6 +140,16 @@ type PushTxs struct {
 	From   string
 	Txs    []*txn.Transaction
 	Stable vclock.Vector
+}
+
+// Units reports the number of logical messages the push batch stands for,
+// for the network substrate's batch-delivery accounting. A pure stability
+// advance (no transactions) still counts as one message.
+func (p PushTxs) Units() int {
+	if len(p.Txs) == 0 {
+		return 1
+	}
+	return len(p.Txs)
 }
 
 // TxReader reads an object inside a transaction running at a DC.
