@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt
 
 all: check
 
@@ -10,13 +10,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The store, dc, edge, obs and wal packages carry the concurrency-heavy code
-# (sharded store locks, background base advancement, ClockSI 2PC, lock-free
+# The crdt, store, dc, edge, obs and wal packages carry the concurrency-heavy
+# code (sealed snapshots shared across reader goroutines with COW forks,
+# sharded store locks, background base advancement, ClockSI 2PC, lock-free
 # edge stats, the event bus, the group-commit WAL writer and the staged DC
 # write pipeline — including the ≥8-committer convergence test); run them
 # under the race detector on every check.
 test-race:
-	$(GO) test -race ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal
+	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal
 
 vet:
 	$(GO) vet ./...
@@ -51,3 +52,11 @@ bench-pipeline:
 # § Observability).
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkStoreReadObs -benchmem ./internal/store
+
+# A/B of the RGA read/materialisation hot path: legacy recursive-tree kernel
+# with deep-clone reads vs the indexed COW kernel with sealed snapshots and
+# cursor-resolved typing bursts, at 1k/10k/100k elements, plus the zero-alloc
+# cached snapshot read. Records the comparison to BENCH_crdt.json at the repo
+# root; acceptance requires >=2x at 10k and 0 allocs/op on the cached read.
+bench-crdt:
+	$(GO) test -run TestRecordCRDTBench -count=1 -v ./internal/crdt -record-crdt

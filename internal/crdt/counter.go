@@ -10,7 +10,8 @@ type CounterOp struct {
 // Counter is an op-based PN-counter. Its value is the sum of all applied
 // deltas.
 type Counter struct {
-	total int64
+	total  int64
+	sealed bool
 }
 
 var _ Object = (*Counter)(nil)
@@ -23,6 +24,9 @@ func (c *Counter) Kind() Kind { return KindCounter }
 
 // Apply implements Object.
 func (c *Counter) Apply(_ Meta, op Op) error {
+	if c.sealed {
+		return ErrSealed
+	}
 	if op.Counter == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -33,6 +37,22 @@ func (c *Counter) Apply(_ Meta, op Op) error {
 	return nil
 }
 
+// Seal implements Object. The write is guarded so that re-sealing an
+// already shared snapshot stays read-only (a concurrent forker may be
+// reading the flag).
+func (c *Counter) Seal() {
+	if !c.sealed {
+		c.sealed = true
+	}
+}
+
+// Sealed implements Object.
+func (c *Counter) Sealed() bool { return c.sealed }
+
+// Fork implements Object. A counter has no containers, so a fork is a plain
+// struct copy.
+func (c *Counter) Fork() Object { cp := *c; cp.sealed = false; return &cp }
+
 // Value implements Object, returning the current total as an int64.
 func (c *Counter) Value() any { return c.total }
 
@@ -40,7 +60,7 @@ func (c *Counter) Value() any { return c.total }
 func (c *Counter) Total() int64 { return c.total }
 
 // Clone implements Object.
-func (c *Counter) Clone() Object { cp := *c; return &cp }
+func (c *Counter) Clone() Object { return c.Fork() }
 
 // PrepareIncrement returns the downstream op adding delta to the counter.
 func (c *Counter) PrepareIncrement(delta int64) Op {

@@ -19,6 +19,7 @@ package crdt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"colony/internal/vclock"
 )
@@ -149,24 +150,62 @@ func (o Op) Kind() Kind {
 var (
 	ErrKindMismatch = errors.New("crdt: operation kind does not match object kind")
 	ErrMalformedOp  = errors.New("crdt: malformed operation")
+	// ErrSealed is returned by Apply on a sealed snapshot; callers that need
+	// to mutate must Fork first.
+	ErrSealed = errors.New("crdt: apply to sealed snapshot (Fork first)")
 )
+
+// cowCopies counts container copies performed by copy-on-write forks across
+// the process; surfaced through the crdt.cow_copies gauge.
+var cowCopies atomic.Int64
+
+// CowCopies returns the process-wide count of copy-on-write container copies.
+// One fork that mutates pays one copy per container it touches, however many
+// readers share the sealed original.
+func CowCopies() int64 { return cowCopies.Load() }
 
 // Object is a materialised CRDT replica state.
 //
-// Objects are not safe for concurrent use; the owning store serialises
-// access.
+// A mutable object is not safe for concurrent use; the owning store
+// serialises access. Seal freezes an object permanently: a sealed object is
+// an immutable snapshot that any number of goroutines may read concurrently
+// (Value, the type-specific accessors, and the Prepare* helpers are all
+// read-pure on sealed objects), while Apply fails with ErrSealed. Fork
+// returns a mutable handle that shares the sealed object's containers and
+// copies them lazily on first write — the copy-on-write path that replaces
+// the old deep-Clone-per-read protocol.
 type Object interface {
 	// Kind returns the object's CRDT kind.
 	Kind() Kind
 	// Apply executes the effect of op. Effects of concurrent operations
 	// commute; applying the same set of effects in any causal order yields
-	// equal state.
+	// equal state. Apply on a sealed object returns ErrSealed.
 	Apply(meta Meta, op Op) error
 	// Value returns the current query value of the object using plain Go
 	// types (int64, string, []string, map[string]any, ...).
 	Value() any
-	// Clone returns a deep, independent copy.
+	// Clone returns a deep, independent, mutable copy.
 	Clone() Object
+	// Seal permanently freezes the object, making it a shareable snapshot.
+	// Sealing is one-way and idempotent.
+	Seal()
+	// Sealed reports whether the object has been sealed.
+	Sealed() bool
+	// Fork returns a mutable object with the same state. Forking a sealed
+	// object is cheap: containers are shared and copied only when the fork
+	// first writes to them. Forking an unsealed object falls back to a deep
+	// Clone (the original could still mutate shared containers).
+	Fork() Object
+}
+
+// Compactor is implemented by objects that can discard tombstone metadata
+// once the store's K-stable cut guarantees every folded operation is durable
+// everywhere. The store calls CompactTombstones on the freshly folded base
+// during advancement; the receiver is owned by the caller and unsealed.
+type Compactor interface {
+	// CompactTombstones drops tombstones that no retained element references
+	// and returns how many were removed.
+	CompactTombstones() int
 }
 
 // New returns a fresh object of kind k in its initial state.

@@ -19,11 +19,24 @@ type ORMapOp struct {
 	Removes []Tag `json:"removes,omitempty"`
 }
 
-// mapEntry is one key of an ORMap.
+// mapEntry is one key of an ORMap. shared marks the presence map (and the
+// nested object, which is sealed alongside the map) as belonging to a sealed
+// snapshot; a fork copies the entry — forking the nested object — before
+// mutating it. The flag is written only while the entry is exclusively
+// owned, at Seal time.
 type mapEntry struct {
 	kind     Kind
 	object   Object
 	presence map[Tag]bool
+	shared   bool
+}
+
+func (e *mapEntry) fork() *mapEntry {
+	pres := make(map[Tag]bool, len(e.presence))
+	for t := range e.presence {
+		pres[t] = true
+	}
+	return &mapEntry{kind: e.kind, object: e.object.Fork(), presence: pres}
 }
 
 // ORMap is an observed-remove map from string keys to nested CRDT objects,
@@ -37,6 +50,9 @@ type mapEntry struct {
 // A grow-only map (the paper's gmap) is an ORMap that is never removed from.
 type ORMap struct {
 	entries map[string]*mapEntry
+	sealed  bool
+	// shared marks the entries map itself as shared with a sealed snapshot.
+	shared bool
 }
 
 var _ Object = (*ORMap)(nil)
@@ -47,8 +63,41 @@ func NewORMap() *ORMap { return &ORMap{entries: make(map[string]*mapEntry)} }
 // Kind implements Object.
 func (m *ORMap) Kind() Kind { return KindORMap }
 
+// unshare gives the map a private entries map (entry pointers still shared;
+// they are forked individually on write).
+func (m *ORMap) unshare() {
+	if !m.shared {
+		return
+	}
+	entries := make(map[string]*mapEntry, len(m.entries))
+	for key, entry := range m.entries {
+		entries[key] = entry
+	}
+	m.entries = entries
+	m.shared = false
+	cowCopies.Add(1)
+}
+
+// owned returns the entry for key, forking it first if it is shared with a
+// sealed snapshot. Returns nil if the key is absent.
+func (m *ORMap) owned(key string) *mapEntry {
+	entry := m.entries[key]
+	if entry == nil {
+		return nil
+	}
+	if entry.shared {
+		entry = entry.fork()
+		m.entries[key] = entry
+		cowCopies.Add(1)
+	}
+	return entry
+}
+
 // Apply implements Object.
 func (m *ORMap) Apply(meta Meta, op Op) error {
+	if m.sealed {
+		return ErrSealed
+	}
 	if op.Map == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -57,10 +106,11 @@ func (m *ORMap) Apply(meta Meta, op Op) error {
 	}
 	o := op.Map
 	if o.Remove {
-		entry := m.entries[o.Key]
-		if entry == nil {
+		if m.entries[o.Key] == nil {
 			return nil
 		}
+		m.unshare()
+		entry := m.owned(o.Key)
 		for _, t := range o.Removes {
 			delete(entry.presence, t)
 		}
@@ -69,7 +119,12 @@ func (m *ORMap) Apply(meta Meta, op Op) error {
 	if o.Nested == nil || !o.Kind.Valid() {
 		return fmt.Errorf("%w: map update without nested op", ErrMalformedOp)
 	}
-	entry := m.entries[o.Key]
+	if entry := m.entries[o.Key]; entry != nil && entry.kind != o.Kind {
+		return fmt.Errorf("crdt: map key %q holds a %v, operation targets a %v: %w",
+			o.Key, entry.kind, o.Kind, ErrKindMismatch)
+	}
+	m.unshare()
+	entry := m.owned(o.Key)
 	if entry == nil {
 		obj, err := New(o.Kind)
 		if err != nil {
@@ -77,10 +132,6 @@ func (m *ORMap) Apply(meta Meta, op Op) error {
 		}
 		entry = &mapEntry{kind: o.Kind, object: obj, presence: make(map[Tag]bool, 1)}
 		m.entries[o.Key] = entry
-	}
-	if entry.kind != o.Kind {
-		return fmt.Errorf("crdt: map key %q holds a %v, operation targets a %v: %w",
-			o.Key, entry.kind, o.Kind, ErrKindMismatch)
 	}
 	if err := entry.object.Apply(meta, *o.Nested); err != nil {
 		return err
@@ -145,6 +196,34 @@ func (m *ORMap) Clone() Object {
 		cp.entries[key] = &mapEntry{kind: entry.kind, object: entry.object.Clone(), presence: pres}
 	}
 	return cp
+}
+
+// Seal implements Object. Nested objects are sealed recursively, so a value
+// returned by Get on a sealed map is itself a sealed snapshot.
+func (m *ORMap) Seal() {
+	if m.sealed {
+		return
+	}
+	m.sealed = true
+	for _, entry := range m.entries {
+		entry.object.Seal()
+		// Guarded write, as in ORSet.Seal: entries still shared from an
+		// earlier snapshot are already marked.
+		if !entry.shared {
+			entry.shared = true
+		}
+	}
+}
+
+// Sealed implements Object.
+func (m *ORMap) Sealed() bool { return m.sealed }
+
+// Fork implements Object.
+func (m *ORMap) Fork() Object {
+	if !m.sealed {
+		return m.Clone()
+	}
+	return &ORMap{entries: m.entries, shared: true}
 }
 
 // PrepareUpdate returns the downstream op applying nested (of kind kind) to

@@ -11,21 +11,75 @@ type ORSetOp struct {
 	Removes []Tag  `json:"removes,omitempty"`
 }
 
+// orsetEntry holds the observed add tags of one member. shared marks the
+// tags map as belonging to a sealed snapshot: a fork copies the entry before
+// mutating it. The flag is written only while the entry is exclusively owned
+// (at Seal time), so concurrent readers of a sealed set never observe a
+// write.
+type orsetEntry struct {
+	tags   map[Tag]bool
+	shared bool
+}
+
+func (e *orsetEntry) fork() *orsetEntry {
+	tcp := make(map[Tag]bool, len(e.tags))
+	for t := range e.tags {
+		tcp[t] = true
+	}
+	return &orsetEntry{tags: tcp}
+}
+
 // ORSet is an observed-remove set of strings with add-wins semantics.
 type ORSet struct {
-	elems map[string]map[Tag]bool
+	elems  map[string]*orsetEntry
+	sealed bool
+	// shared marks the elems map itself as shared with a sealed snapshot.
+	shared bool
 }
 
 var _ Object = (*ORSet)(nil)
 
 // NewORSet returns an empty set.
-func NewORSet() *ORSet { return &ORSet{elems: make(map[string]map[Tag]bool)} }
+func NewORSet() *ORSet { return &ORSet{elems: make(map[string]*orsetEntry)} }
 
 // Kind implements Object.
 func (s *ORSet) Kind() Kind { return KindORSet }
 
+// unshare gives the set a private elems map (entry pointers still shared;
+// they are copied individually on write).
+func (s *ORSet) unshare() {
+	if !s.shared {
+		return
+	}
+	elems := make(map[string]*orsetEntry, len(s.elems))
+	for e, entry := range s.elems {
+		elems[e] = entry
+	}
+	s.elems = elems
+	s.shared = false
+	cowCopies.Add(1)
+}
+
+// owned returns the entry for elem, copying it first if it is shared with a
+// sealed snapshot. Returns nil if the element is absent.
+func (s *ORSet) owned(elem string) *orsetEntry {
+	entry := s.elems[elem]
+	if entry == nil {
+		return nil
+	}
+	if entry.shared {
+		entry = entry.fork()
+		s.elems[elem] = entry
+		cowCopies.Add(1)
+	}
+	return entry
+}
+
 // Apply implements Object.
 func (s *ORSet) Apply(meta Meta, op Op) error {
+	if s.sealed {
+		return ErrSealed
+	}
 	if op.Set == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -34,21 +88,26 @@ func (s *ORSet) Apply(meta Meta, op Op) error {
 	}
 	o := op.Set
 	if o.Remove {
-		tags := s.elems[o.Elem]
-		for _, t := range o.Removes {
-			delete(tags, t)
+		if s.elems[o.Elem] == nil {
+			return nil
 		}
-		if len(tags) == 0 {
+		s.unshare()
+		entry := s.owned(o.Elem)
+		for _, t := range o.Removes {
+			delete(entry.tags, t)
+		}
+		if len(entry.tags) == 0 {
 			delete(s.elems, o.Elem)
 		}
 		return nil
 	}
-	tags := s.elems[o.Elem]
-	if tags == nil {
-		tags = make(map[Tag]bool, 1)
-		s.elems[o.Elem] = tags
+	s.unshare()
+	entry := s.owned(o.Elem)
+	if entry == nil {
+		entry = &orsetEntry{tags: make(map[Tag]bool, 1)}
+		s.elems[o.Elem] = entry
 	}
-	tags[meta.tag()] = true
+	entry.tags[meta.tag()] = true
 	return nil
 }
 
@@ -66,22 +125,48 @@ func (s *ORSet) Elems() []string {
 }
 
 // Contains reports membership of elem.
-func (s *ORSet) Contains(elem string) bool { return len(s.elems[elem]) > 0 }
+func (s *ORSet) Contains(elem string) bool {
+	entry := s.elems[elem]
+	return entry != nil && len(entry.tags) > 0
+}
 
 // Len returns the number of members.
 func (s *ORSet) Len() int { return len(s.elems) }
 
 // Clone implements Object.
 func (s *ORSet) Clone() Object {
-	cp := &ORSet{elems: make(map[string]map[Tag]bool, len(s.elems))}
-	for e, tags := range s.elems {
-		tcp := make(map[Tag]bool, len(tags))
-		for t := range tags {
-			tcp[t] = true
-		}
-		cp.elems[e] = tcp
+	cp := &ORSet{elems: make(map[string]*orsetEntry, len(s.elems))}
+	for e, entry := range s.elems {
+		cp.elems[e] = entry.fork()
 	}
 	return cp
+}
+
+// Seal implements Object.
+func (s *ORSet) Seal() {
+	if s.sealed {
+		return
+	}
+	s.sealed = true
+	for _, entry := range s.elems {
+		// Guarded write: entries still shared from an earlier snapshot are
+		// already marked, and writing the flag again would race with a
+		// concurrent fork reading it.
+		if !entry.shared {
+			entry.shared = true
+		}
+	}
+}
+
+// Sealed implements Object.
+func (s *ORSet) Sealed() bool { return s.sealed }
+
+// Fork implements Object.
+func (s *ORSet) Fork() Object {
+	if !s.sealed {
+		return s.Clone()
+	}
+	return &ORSet{elems: s.elems, shared: true}
 }
 
 // PrepareAdd returns the downstream op adding elem.
@@ -92,12 +177,14 @@ func (s *ORSet) PrepareAdd(elem string) Op {
 // PrepareRemove returns the downstream op removing elem, capturing the add
 // tags currently observed so that concurrent adds win.
 func (s *ORSet) PrepareRemove(elem string) Op {
-	tags := s.elems[elem]
-	removes := make([]Tag, 0, len(tags))
-	for t := range tags {
-		removes = append(removes, t)
+	var removes []Tag
+	if entry := s.elems[elem]; entry != nil {
+		removes = make([]Tag, 0, len(entry.tags))
+		for t := range entry.tags {
+			removes = append(removes, t)
+		}
+		sort.Slice(removes, func(i, j int) bool { return removes[i].Compare(removes[j]) < 0 })
 	}
-	sort.Slice(removes, func(i, j int) bool { return removes[i].Compare(removes[j]) < 0 })
 	return Op{Set: &ORSetOp{Elem: elem, Remove: true, Removes: removes}}
 }
 
@@ -112,6 +199,8 @@ type FlagOp struct {
 // to enabled.
 type Flag struct {
 	tokens map[Tag]bool
+	sealed bool
+	shared bool
 }
 
 var _ Object = (*Flag)(nil)
@@ -122,14 +211,32 @@ func NewFlag() *Flag { return &Flag{tokens: make(map[Tag]bool)} }
 // Kind implements Object.
 func (f *Flag) Kind() Kind { return KindFlag }
 
+// unshare copies the token map if it is shared with a sealed snapshot.
+func (f *Flag) unshare() {
+	if !f.shared {
+		return
+	}
+	tokens := make(map[Tag]bool, len(f.tokens)+1)
+	for t := range f.tokens {
+		tokens[t] = true
+	}
+	f.tokens = tokens
+	f.shared = false
+	cowCopies.Add(1)
+}
+
 // Apply implements Object.
 func (f *Flag) Apply(meta Meta, op Op) error {
+	if f.sealed {
+		return ErrSealed
+	}
 	if op.Flag == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
 		}
 		return ErrKindMismatch
 	}
+	f.unshare()
 	if op.Flag.Disable {
 		for _, t := range op.Flag.Disables {
 			delete(f.tokens, t)
@@ -153,6 +260,24 @@ func (f *Flag) Clone() Object {
 		cp.tokens[t] = true
 	}
 	return cp
+}
+
+// Seal implements Object.
+func (f *Flag) Seal() {
+	if !f.sealed {
+		f.sealed = true
+	}
+}
+
+// Sealed implements Object.
+func (f *Flag) Sealed() bool { return f.sealed }
+
+// Fork implements Object.
+func (f *Flag) Fork() Object {
+	if !f.sealed {
+		return f.Clone()
+	}
+	return &Flag{tokens: f.tokens, shared: true}
 }
 
 // PrepareEnable returns the downstream op enabling the flag.

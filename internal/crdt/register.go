@@ -12,9 +12,10 @@ type LWWRegisterOp struct {
 // happened-before — a causally later assignment always wins, and concurrent
 // assignments are arbitrated deterministically.
 type LWWRegister struct {
-	value string
-	tag   Tag
-	set   bool
+	value  string
+	tag    Tag
+	set    bool
+	sealed bool
 }
 
 var _ Object = (*LWWRegister)(nil)
@@ -27,6 +28,9 @@ func (r *LWWRegister) Kind() Kind { return KindLWWRegister }
 
 // Apply implements Object.
 func (r *LWWRegister) Apply(meta Meta, op Op) error {
+	if r.sealed {
+		return ErrSealed
+	}
 	if op.LWW == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -49,7 +53,21 @@ func (r *LWWRegister) Value() any { return r.value }
 func (r *LWWRegister) Get() (string, bool) { return r.value, r.set }
 
 // Clone implements Object.
-func (r *LWWRegister) Clone() Object { cp := *r; return &cp }
+func (r *LWWRegister) Clone() Object { return r.Fork() }
+
+// Seal implements Object.
+func (r *LWWRegister) Seal() {
+	if !r.sealed {
+		r.sealed = true
+	}
+}
+
+// Sealed implements Object.
+func (r *LWWRegister) Sealed() bool { return r.sealed }
+
+// Fork implements Object. The register has no containers, so a fork is a
+// plain struct copy.
+func (r *LWWRegister) Fork() Object { cp := *r; cp.sealed = false; return &cp }
 
 // PrepareAssign returns the downstream op assigning v.
 func (r *LWWRegister) PrepareAssign(v string) Op {
@@ -74,6 +92,11 @@ type mvEntry struct {
 // values, letting the application resolve them.
 type MVRegister struct {
 	entries []mvEntry
+	sealed  bool
+	// shared marks the entries slice as shared with a sealed snapshot; the
+	// first mutation builds a fresh slice instead of reusing the backing
+	// array in place.
+	shared bool
 }
 
 var _ Object = (*MVRegister)(nil)
@@ -86,6 +109,9 @@ func (r *MVRegister) Kind() Kind { return KindMVRegister }
 
 // Apply implements Object.
 func (r *MVRegister) Apply(meta Meta, op Op) error {
+	if r.sealed {
+		return ErrSealed
+	}
 	if op.MV == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -97,6 +123,12 @@ func (r *MVRegister) Apply(meta Meta, op Op) error {
 		overwritten[t] = true
 	}
 	kept := r.entries[:0]
+	if r.shared {
+		// The backing array belongs to a sealed snapshot; copy on write.
+		kept = make([]mvEntry, 0, len(r.entries)+1)
+		r.shared = false
+		cowCopies.Add(1)
+	}
 	for _, e := range r.entries {
 		if !overwritten[e.tag] {
 			kept = append(kept, e)
@@ -127,6 +159,24 @@ func (r *MVRegister) Clone() Object {
 	cp := &MVRegister{entries: make([]mvEntry, len(r.entries))}
 	copy(cp.entries, r.entries)
 	return cp
+}
+
+// Seal implements Object.
+func (r *MVRegister) Seal() {
+	if !r.sealed {
+		r.sealed = true
+	}
+}
+
+// Sealed implements Object.
+func (r *MVRegister) Sealed() bool { return r.sealed }
+
+// Fork implements Object.
+func (r *MVRegister) Fork() Object {
+	if !r.sealed {
+		return r.Clone()
+	}
+	return &MVRegister{entries: r.entries, shared: true}
 }
 
 // PrepareAssign returns the downstream op assigning v and overwriting every

@@ -19,41 +19,121 @@ type RGAOp struct {
 	Target Tag  `json:"target,omitempty"`
 }
 
-// rgaNode is one element of the RGA tree.
-type rgaNode struct {
+// rgaElem is one element of the flat RGA order: the element's identity, the
+// anchor it was inserted after (zero Tag = head), and its payload. Elements
+// — including tombstones — are stored in document order, which is the
+// pre-order traversal of the conceptual RGA tree with siblings in
+// descending tag order.
+type rgaElem struct {
 	id        Tag
+	after     Tag
 	value     string
 	tombstone bool
-	// children are the elements inserted directly after this one, kept in
-	// descending tag order — the deterministic RGA sibling order.
-	children []*rgaNode
+}
+
+// rgaCursor memoises one (order position, live index) correspondence point.
+// Apply keeps it pointing at the most recently inserted live element with
+// O(1) adjustments, so a typing burst resolves its anchor without scanning;
+// Prepare* on a sealed snapshot reads it but never writes it.
+type rgaCursor struct {
+	valid   bool
+	pos     int // position in order; order[pos] is live
+	liveIdx int // index of order[pos] within the live sequence
 }
 
 // RGA is a Replicated Growable Array: a sequence CRDT supporting concurrent
 // insert-after and delete. Concurrent inserts at the same position are
 // ordered by descending update tag, so all replicas linearise identically.
 // Deletions leave tombstones (the identifier space must stay stable for
-// later concurrent inserts to anchor on).
+// later concurrent inserts to anchor on) until the store's K-stable
+// advancement cut lets CompactTombstones reclaim them.
+//
+// The kernel is a flat order-indexed array rather than a pointer tree:
+// traversal is iterative (no recursion, however deep the edit chain), the
+// index map resolves anchors in O(1), and appends — the typing pattern —
+// are O(1) amortised.
 type RGA struct {
-	root  rgaNode // sentinel head; never has a value
-	index map[Tag]*rgaNode
-	live  int
+	order []rgaElem
+	// index maps element id -> position in order. nil means stale: an owned
+	// mutator rebuilds it on demand, and Seal rebuilds it eagerly so sealed
+	// snapshots always carry a valid, read-only index.
+	index map[Tag]int
+	// gone records compacted tombstones: id -> the anchor the element was
+	// inserted after. A late operation referencing a compacted element
+	// resurrects it (as a tombstone, at its original deterministic position)
+	// so replicas that compacted at different times still converge.
+	gone   map[Tag]Tag
+	live   int
+	sealed bool
+	// shared marks order/index/gone as shared with a sealed snapshot.
+	shared bool
+	cursor rgaCursor
 }
 
 var _ Object = (*RGA)(nil)
+var _ Compactor = (*RGA)(nil)
 
 // NewRGA returns an empty sequence.
 func NewRGA() *RGA {
-	r := &RGA{index: make(map[Tag]*rgaNode)}
-	r.index[Tag{}] = &r.root
-	return r
+	return &RGA{index: make(map[Tag]int)}
 }
 
 // Kind implements Object.
 func (r *RGA) Kind() Kind { return KindRGA }
 
+// unshare gives the RGA private containers. The order slice and gone map are
+// copied; the index is dropped and rebuilt lazily (a rebuild costs the same
+// as a copy and is skipped entirely if no lookup follows).
+func (r *RGA) unshare() {
+	if !r.shared {
+		return
+	}
+	order := make([]rgaElem, len(r.order), len(r.order)+1)
+	copy(order, r.order)
+	r.order = order
+	if len(r.gone) > 0 {
+		gone := make(map[Tag]Tag, len(r.gone))
+		for t, a := range r.gone {
+			gone[t] = a
+		}
+		r.gone = gone
+	} else {
+		r.gone = nil
+	}
+	r.index = nil
+	r.shared = false
+	cowCopies.Add(1)
+}
+
+// ensureIndex rebuilds the position index after an unshare or a compaction
+// dropped it. Must only be called on an owned (unshared, unsealed) RGA.
+func (r *RGA) ensureIndex() {
+	if r.index != nil {
+		return
+	}
+	idx := make(map[Tag]int, len(r.order))
+	for i, e := range r.order {
+		idx[e.id] = i
+	}
+	r.index = idx
+}
+
+// lookup returns the order position of id. While the containers are shared
+// the index is guaranteed valid (Seal rebuilds it before sharing); once
+// owned it may be stale and is rebuilt on demand.
+func (r *RGA) lookup(id Tag) (int, bool) {
+	if r.index == nil {
+		r.ensureIndex()
+	}
+	pos, ok := r.index[id]
+	return pos, ok
+}
+
 // Apply implements Object.
 func (r *RGA) Apply(meta Meta, op Op) error {
+	if r.sealed {
+		return ErrSealed
+	}
 	if op.RGA == nil {
 		if op.Kind() == 0 {
 			return ErrMalformedOp
@@ -62,41 +142,212 @@ func (r *RGA) Apply(meta Meta, op Op) error {
 	}
 	o := op.RGA
 	if o.Delete {
-		node, ok := r.index[o.Target]
-		if !ok {
-			return fmt.Errorf("crdt: rga delete of unknown element %v (causal delivery violated): %w",
-				o.Target, ErrMalformedOp)
+		return r.applyDelete(o.Target)
+	}
+	return r.applyInsert(meta.tag(), o.After, o.Value)
+}
+
+func (r *RGA) applyDelete(target Tag) error {
+	pos, ok := r.lookup(target)
+	if !ok {
+		if _, compacted := r.gone[target]; compacted {
+			return nil // already deleted and reclaimed
 		}
-		if !node.tombstone {
-			node.tombstone = true
-			r.live--
-		}
+		return fmt.Errorf("crdt: rga delete of unknown element %v (causal delivery violated): %w",
+			target, ErrMalformedOp)
+	}
+	if r.order[pos].tombstone {
 		return nil
 	}
-	parent, ok := r.index[o.After]
-	if !ok {
-		return fmt.Errorf("crdt: rga insert after unknown element %v (causal delivery violated): %w",
-			o.After, ErrMalformedOp)
+	r.unshare() // positions are unchanged by the copy, pos stays valid
+	r.order[pos].tombstone = true
+	r.live--
+	switch {
+	case pos == r.cursor.pos:
+		r.cursor.valid = false
+	case r.cursor.valid && pos < r.cursor.pos:
+		r.cursor.liveIdx--
 	}
-	id := meta.tag()
-	if _, dup := r.index[id]; dup {
+	return nil
+}
+
+func (r *RGA) applyInsert(id, after Tag, value string) error {
+	if _, dup := r.lookup(id); dup {
 		return nil // idempotent re-apply
 	}
-	node := &rgaNode{id: id, value: o.Value}
-	// Insert among siblings in descending tag order.
-	pos := len(parent.children)
-	for i, sib := range parent.children {
-		if id.Compare(sib.id) > 0 {
-			pos = i
-			break
+	if _, dup := r.gone[id]; dup {
+		return nil // re-apply of an element already compacted away
+	}
+	if after != (Tag{}) {
+		if _, ok := r.lookup(after); !ok {
+			if _, compacted := r.gone[after]; !compacted {
+				return fmt.Errorf("crdt: rga insert after unknown element %v (causal delivery violated): %w",
+					after, ErrMalformedOp)
+			}
+			r.unshare()
+			r.ensureIndex()
+			r.resurrect(after)
 		}
 	}
-	parent.children = append(parent.children, nil)
-	copy(parent.children[pos+1:], parent.children[pos:])
-	parent.children[pos] = node
-	r.index[id] = node
+	r.unshare()
+	r.ensureIndex()
+	pos, liveSkipped, anchorPos := r.insertPos(after, id)
+	r.insertAt(pos, rgaElem{id: id, after: after, value: value})
 	r.live++
+	// Keep the cursor on the element just inserted when its live index is
+	// derivable in O(1); otherwise fall back to the shift adjustment.
+	switch {
+	case r.cursor.valid && anchorPos == r.cursor.pos:
+		// Typing: anchored on the cursor element.
+		r.cursor = rgaCursor{valid: true, pos: pos, liveIdx: r.cursor.liveIdx + liveSkipped + 1}
+	case pos == len(r.order)-1:
+		// Append at the very end: last live element.
+		r.cursor = rgaCursor{valid: true, pos: pos, liveIdx: r.live - 1}
+	case anchorPos < 0 && pos == 0:
+		// Insert at the head of the document.
+		r.cursor = rgaCursor{valid: true, pos: 0, liveIdx: 0}
+	case r.cursor.valid && pos <= r.cursor.pos:
+		r.cursor.pos++
+		r.cursor.liveIdx++
+	}
 	return nil
+}
+
+// insertPos computes where an element with the given anchor and id lands:
+// scan forward from the anchor, skipping (greater-tagged) siblings and their
+// subtrees, and stop at the first smaller-tagged sibling or the end of the
+// anchor's region. Also returns how many live elements were skipped and the
+// anchor's position (-1 for the head), which the cursor update needs.
+func (r *RGA) insertPos(after, id Tag) (pos, liveSkipped, anchorPos int) {
+	anchorPos = -1
+	start := 0
+	if after != (Tag{}) {
+		anchorPos = r.index[after]
+		start = anchorPos + 1
+	}
+	var skipping map[Tag]bool
+	i := start
+	for ; i < len(r.order); i++ {
+		x := &r.order[i]
+		switch {
+		case x.after == after:
+			if id.Compare(x.id) > 0 {
+				return i, liveSkipped, anchorPos
+			}
+			if skipping == nil {
+				skipping = make(map[Tag]bool, 4)
+			}
+			skipping[x.id] = true
+		case skipping != nil && skipping[x.after]:
+			skipping[x.id] = true
+		default:
+			return i, liveSkipped, anchorPos
+		}
+		if !x.tombstone {
+			liveSkipped++
+		}
+	}
+	return i, liveSkipped, anchorPos
+}
+
+// insertAt splices e into order at pos and patches the index (callers hold
+// an owned RGA with ensureIndex done). An append is O(1); a mid-order
+// insert additionally shifts the index entries of the tail.
+func (r *RGA) insertAt(pos int, e rgaElem) {
+	r.order = append(r.order, rgaElem{})
+	copy(r.order[pos+1:], r.order[pos:])
+	r.order[pos] = e
+	for i := pos + 1; i < len(r.order); i++ {
+		r.index[r.order[i].id] = i
+	}
+	r.index[e.id] = pos
+}
+
+// resurrect re-inserts the compacted tombstone t (and, transitively, any
+// compacted anchors it depends on) at its original position. The position
+// is deterministic — RGA order is a function of the set of (id, after)
+// pairs — so replicas that compacted at different times converge. Owned
+// RGA with a valid index required.
+func (r *RGA) resurrect(t Tag) {
+	chain := []Tag{t}
+	for {
+		a := r.gone[chain[len(chain)-1]]
+		if a == (Tag{}) {
+			break
+		}
+		if _, present := r.index[a]; present {
+			break
+		}
+		if _, compacted := r.gone[a]; !compacted {
+			break // anchor truly unknown; insertPos anchors at head
+		}
+		chain = append(chain, a)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		id := chain[i]
+		after := r.gone[id]
+		if after != (Tag{}) {
+			if _, present := r.index[after]; !present {
+				after = Tag{}
+			}
+		}
+		pos, _, _ := r.insertPos(after, id)
+		r.insertAt(pos, rgaElem{id: id, after: after, tombstone: true})
+		if r.cursor.valid && pos <= r.cursor.pos {
+			r.cursor.pos++
+		}
+		delete(r.gone, id)
+	}
+}
+
+// CompactTombstones implements Compactor: it removes every tombstone that no
+// retained element uses as its anchor, remembering the reclaimed ids in the
+// gone map so late operations referencing them still converge. Called by the
+// store on the freshly folded base during K-stable advancement.
+func (r *RGA) CompactTombstones() int {
+	if r.sealed {
+		return 0
+	}
+	removable := 0
+	refs := make(map[Tag]int, len(r.order))
+	for i := range r.order {
+		if a := r.order[i].after; a != (Tag{}) {
+			refs[a]++
+		}
+	}
+	// Scan backward: an element's anchor precedes it in document order, so
+	// one pass cascades (a tombstone chain unreferenced at its tail is
+	// reclaimed whole).
+	drop := make([]bool, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		e := &r.order[i]
+		if e.tombstone && refs[e.id] == 0 {
+			drop[i] = true
+			removable++
+			if e.after != (Tag{}) {
+				refs[e.after]--
+			}
+		}
+	}
+	if removable == 0 {
+		return 0
+	}
+	r.unshare()
+	if r.gone == nil {
+		r.gone = make(map[Tag]Tag, removable)
+	}
+	kept := r.order[:0]
+	for i := range r.order {
+		if drop[i] {
+			r.gone[r.order[i].id] = r.order[i].after
+			continue
+		}
+		kept = append(kept, r.order[i])
+	}
+	r.order = kept
+	r.index = nil
+	r.cursor = rgaCursor{}
+	return removable
 }
 
 // Value implements Object, returning the concatenated live elements as a
@@ -106,7 +357,11 @@ func (r *RGA) Value() any { return r.String() }
 // String returns the sequence contents.
 func (r *RGA) String() string {
 	var sb strings.Builder
-	r.walk(&r.root, func(n *rgaNode) { sb.WriteString(n.value) })
+	for i := range r.order {
+		if !r.order[i].tombstone {
+			sb.WriteString(r.order[i].value)
+		}
+	}
 	return sb.String()
 }
 
@@ -120,44 +375,107 @@ func (r *RGA) Elements() []struct {
 		Tag   Tag
 		Value string
 	}, 0, r.live)
-	r.walk(&r.root, func(n *rgaNode) {
+	for i := range r.order {
+		if r.order[i].tombstone {
+			continue
+		}
 		out = append(out, struct {
 			Tag   Tag
 			Value string
-		}{Tag: n.id, Value: n.value})
-	})
+		}{Tag: r.order[i].id, Value: r.order[i].value})
+	}
 	return out
 }
 
 // Len returns the number of live elements.
 func (r *RGA) Len() int { return r.live }
 
-// walk performs the RGA depth-first traversal, calling fn on every live node.
-func (r *RGA) walk(n *rgaNode, fn func(*rgaNode)) {
-	if n != &r.root && !n.tombstone {
-		fn(n)
+// Clone implements Object.
+func (r *RGA) Clone() Object {
+	cp := &RGA{
+		order: make([]rgaElem, len(r.order)),
+		live:  r.live,
 	}
-	for _, child := range n.children {
-		r.walk(child, fn)
+	copy(cp.order, r.order)
+	if r.index != nil {
+		cp.index = make(map[Tag]int, len(r.index))
+		for t, p := range r.index {
+			cp.index[t] = p
+		}
+	}
+	if len(r.gone) > 0 {
+		cp.gone = make(map[Tag]Tag, len(r.gone))
+		for t, a := range r.gone {
+			cp.gone[t] = a
+		}
+	}
+	cp.cursor = r.cursor
+	return cp
+}
+
+// Seal implements Object. The index is rebuilt if stale so that sealed
+// snapshots can answer lookups without ever writing to themselves.
+func (r *RGA) Seal() {
+	if r.sealed {
+		return
+	}
+	r.ensureIndex()
+	r.sealed = true
+}
+
+// Sealed implements Object.
+func (r *RGA) Sealed() bool { return r.sealed }
+
+// Fork implements Object.
+func (r *RGA) Fork() Object {
+	if !r.sealed {
+		return r.Clone()
+	}
+	return &RGA{
+		order:  r.order,
+		index:  r.index,
+		gone:   r.gone,
+		live:   r.live,
+		shared: true,
+		cursor: r.cursor,
 	}
 }
 
-// Clone implements Object.
-func (r *RGA) Clone() Object {
-	cp := NewRGA()
-	cp.live = r.live
-	var dup func(src *rgaNode, dst *rgaNode)
-	dup = func(src, dst *rgaNode) {
-		dst.children = make([]*rgaNode, len(src.children))
-		for i, child := range src.children {
-			nc := &rgaNode{id: child.id, value: child.value, tombstone: child.tombstone}
-			dst.children[i] = nc
-			cp.index[nc.id] = nc
-			dup(child, nc)
+// livePos returns the order position of the k-th live element, walking from
+// the cheapest of three origins — head, tail, or the cursor — and skipping
+// tombstones. Read-pure, so it is safe on shared sealed snapshots.
+// Requires 0 <= k < r.live.
+func (r *RGA) livePos(k int) int {
+	pos, idx := -1, -1 // head origin
+	if tail := r.live - k; tail < k+1 {
+		pos, idx = len(r.order), r.live
+	}
+	if r.cursor.valid {
+		d := r.cursor.liveIdx - k
+		if d < 0 {
+			d = -d
+		}
+		best := k + 1
+		if t := r.live - k; t < best {
+			best = t
+		}
+		if d < best {
+			pos, idx = r.cursor.pos, r.cursor.liveIdx
 		}
 	}
-	dup(&r.root, &cp.root)
-	return cp
+	for idx < k {
+		pos++
+		if !r.order[pos].tombstone {
+			idx++
+		}
+	}
+	for idx > k {
+		pos--
+		if !r.order[pos].tombstone {
+			idx--
+		}
+	}
+	return pos
 }
 
 // PrepareInsertAfter returns the downstream op inserting value after the
@@ -172,25 +490,25 @@ func (r *RGA) PrepareDelete(target Tag) Op {
 }
 
 // PrepareInsertAt returns the downstream op inserting value so that it lands
-// at index i of the current live sequence (0 inserts at the head). It is a
-// convenience wrapper that resolves the anchor element from the local state.
+// at index i of the current live sequence (0 inserts at the head). The
+// anchor is resolved via the cursor when it is closer than the sequence
+// ends, so a typing burst pays O(1) per keystroke instead of a full
+// materialisation.
 func (r *RGA) PrepareInsertAt(i int, value string) Op {
-	if i <= 0 {
+	if i <= 0 || r.live == 0 {
 		return r.PrepareInsertAfter(Tag{}, value)
 	}
-	elems := r.Elements()
-	if i > len(elems) {
-		i = len(elems)
+	if i > r.live {
+		i = r.live
 	}
-	return r.PrepareInsertAfter(elems[i-1].Tag, value)
+	return r.PrepareInsertAfter(r.order[r.livePos(i-1)].id, value)
 }
 
 // PrepareDeleteAt returns the downstream op deleting the live element at
 // index i, or a zero Op and false if i is out of range.
 func (r *RGA) PrepareDeleteAt(i int) (Op, bool) {
-	elems := r.Elements()
-	if i < 0 || i >= len(elems) {
+	if i < 0 || i >= r.live {
 		return Op{}, false
 	}
-	return r.PrepareDelete(elems[i].Tag), true
+	return r.PrepareDelete(r.order[r.livePos(i)].id), true
 }

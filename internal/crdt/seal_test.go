@@ -1,0 +1,299 @@
+package crdt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"colony/internal/vclock"
+)
+
+// sealFixture builds one populated object of each kind together with a
+// stream of further mutations a COW writer can apply.
+type sealFixture struct {
+	kind  Kind
+	build func(t *testing.T) Object
+	// mutate applies the i-th extra mutation to obj (already forked).
+	mutate func(t *testing.T, obj Object, i int)
+}
+
+func fixtureMeta(node string, seq uint64) Meta {
+	return Meta{Dot: vclock.Dot{Node: node, Seq: seq}}
+}
+
+func mustApply(t *testing.T, obj Object, m Meta, op Op) {
+	t.Helper()
+	if err := obj.Apply(m, op); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+}
+
+func sealFixtures() []sealFixture {
+	return []sealFixture{
+		{
+			kind: KindCounter,
+			build: func(t *testing.T) Object {
+				c := NewCounter()
+				mustApply(t, c, fixtureMeta("a", 1), c.PrepareIncrement(41))
+				return c
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				c := obj.(*Counter)
+				mustApply(t, c, fixtureMeta("w", uint64(100+i)), c.PrepareIncrement(1))
+			},
+		},
+		{
+			kind: KindLWWRegister,
+			build: func(t *testing.T) Object {
+				r := NewLWWRegister()
+				mustApply(t, r, fixtureMeta("a", 1), r.PrepareAssign("base"))
+				return r
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				r := obj.(*LWWRegister)
+				mustApply(t, r, fixtureMeta("w", uint64(100+i)), r.PrepareAssign(fmt.Sprintf("v%d", i)))
+			},
+		},
+		{
+			kind: KindMVRegister,
+			build: func(t *testing.T) Object {
+				r := NewMVRegister()
+				mustApply(t, r, fixtureMeta("a", 1), r.PrepareAssign("base"))
+				mustApply(t, r, fixtureMeta("b", 1), Op{MV: &MVRegisterOp{Value: "sibling"}})
+				return r
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				r := obj.(*MVRegister)
+				mustApply(t, r, fixtureMeta("w", uint64(100+i)), r.PrepareAssign(fmt.Sprintf("v%d", i)))
+			},
+		},
+		{
+			kind: KindORSet,
+			build: func(t *testing.T) Object {
+				s := NewORSet()
+				for i, e := range []string{"x", "y", "z"} {
+					mustApply(t, s, fixtureMeta("a", uint64(i+1)), s.PrepareAdd(e))
+				}
+				return s
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				s := obj.(*ORSet)
+				if i%3 == 0 {
+					mustApply(t, s, fixtureMeta("w", uint64(100+i)), s.PrepareRemove("y"))
+					return
+				}
+				mustApply(t, s, fixtureMeta("w", uint64(100+i)), s.PrepareAdd(fmt.Sprintf("e%d", i)))
+			},
+		},
+		{
+			kind: KindFlag,
+			build: func(t *testing.T) Object {
+				f := NewFlag()
+				mustApply(t, f, fixtureMeta("a", 1), f.PrepareEnable())
+				return f
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				f := obj.(*Flag)
+				if i%2 == 0 {
+					mustApply(t, f, fixtureMeta("w", uint64(100+i)), f.PrepareDisable())
+					return
+				}
+				mustApply(t, f, fixtureMeta("w", uint64(100+i)), f.PrepareEnable())
+			},
+		},
+		{
+			kind: KindORMap,
+			build: func(t *testing.T) Object {
+				m := NewORMap()
+				mustApply(t, m, fixtureMeta("a", 1),
+					m.PrepareUpdate("count", KindCounter, Op{Counter: &CounterOp{Delta: 7}}))
+				mustApply(t, m, fixtureMeta("a", 2),
+					m.PrepareUpdate("name", KindLWWRegister, Op{LWW: &LWWRegisterOp{Value: "base"}}))
+				return m
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				m := obj.(*ORMap)
+				mustApply(t, m, fixtureMeta("w", uint64(100+i)),
+					m.PrepareUpdate("count", KindCounter, Op{Counter: &CounterOp{Delta: 1}}))
+			},
+		},
+		{
+			kind: KindRGA,
+			build: func(t *testing.T) Object {
+				r := NewRGA()
+				after := Tag{}
+				for i := 0; i < 16; i++ {
+					m := fixtureMeta("a", uint64(i+1))
+					mustApply(t, r, m, r.PrepareInsertAfter(after, fmt.Sprintf("%c", 'a'+i)))
+					after = m.tag()
+				}
+				del, ok := r.PrepareDeleteAt(3)
+				if !ok {
+					t.Fatal("delete out of range")
+				}
+				mustApply(t, r, fixtureMeta("a", 17), del)
+				return r
+			},
+			mutate: func(t *testing.T, obj Object, i int) {
+				r := obj.(*RGA)
+				mustApply(t, r, fixtureMeta("w", uint64(100+i)), r.PrepareInsertAt(r.Len(), "W"))
+			},
+		},
+	}
+}
+
+// TestSealedApplyErrors pins the seal contract: Apply on a sealed object of
+// every kind fails with ErrSealed and leaves the state untouched.
+func TestSealedApplyErrors(t *testing.T) {
+	for _, fx := range sealFixtures() {
+		t.Run(fx.kind.String(), func(t *testing.T) {
+			obj := fx.build(t)
+			obj.Seal()
+			if !obj.Sealed() {
+				t.Fatal("Sealed() false after Seal")
+			}
+			before := fmt.Sprintf("%v", obj.Value())
+			fork := obj.Fork()
+			fx.mutate(t, fork, 1) // must succeed on the fork
+			err := func() error {
+				switch o := fork.(type) {
+				case *Counter:
+					return obj.Apply(fixtureMeta("w", 999), o.PrepareIncrement(1))
+				default:
+					_ = o
+					return obj.Apply(fixtureMeta("w", 999), Op{})
+				}
+			}()
+			if !errors.Is(err, ErrSealed) {
+				t.Fatalf("Apply on sealed: got %v, want ErrSealed", err)
+			}
+			if got := fmt.Sprintf("%v", obj.Value()); got != before {
+				t.Fatalf("sealed value changed: %q -> %q", before, got)
+			}
+		})
+	}
+}
+
+// TestSealAliasingSafety is the aliasing property test: many goroutines read
+// a sealed snapshot while concurrent writers fork it and apply mutations
+// copy-on-write. The readers' observed value must never change, and under
+// -race the schedule must be free of data races (this is the production
+// shape: the store's materialisation cache shares one sealed snapshot with
+// every reader while refreshes fork it).
+func TestSealAliasingSafety(t *testing.T) {
+	const (
+		readers   = 4
+		writers   = 3
+		mutations = 200
+	)
+	for _, fx := range sealFixtures() {
+		t.Run(fx.kind.String(), func(t *testing.T) {
+			obj := fx.build(t)
+			obj.Seal()
+			want := fmt.Sprintf("%v", obj.Value())
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			errc := make(chan error, readers)
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if got := fmt.Sprintf("%v", obj.Value()); got != want {
+							errc <- fmt.Errorf("reader observed mutation: %q -> %q", want, got)
+							return
+						}
+						// Prepare* must be read-pure on sealed objects.
+						switch o := obj.(type) {
+						case *RGA:
+							_ = o.PrepareInsertAt(o.Len()/2, "r")
+							_, _ = o.PrepareDeleteAt(o.Len() / 2)
+							_ = o.Elements()
+						case *ORSet:
+							_ = o.PrepareRemove("y")
+							_ = o.Contains("x")
+						case *Flag:
+							_ = o.PrepareDisable()
+						case *MVRegister:
+							_ = o.PrepareAssign("r")
+						case *ORMap:
+							_ = o.PrepareRemove("count")
+							_ = o.Keys()
+						}
+					}
+				}()
+			}
+			var ww sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				ww.Add(1)
+				go func(w int) {
+					defer ww.Done()
+					fork := obj.Fork()
+					for i := 0; i < mutations; i++ {
+						fx.mutate(t, fork, w*mutations+i)
+						if i%16 == 0 {
+							// Re-fork through a seal, exercising chained
+							// snapshot lineages.
+							fork.Seal()
+							fork = fork.Fork()
+						}
+					}
+				}(w)
+			}
+			ww.Wait()
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errc:
+				t.Fatal(err)
+			default:
+			}
+			if got := fmt.Sprintf("%v", obj.Value()); got != want {
+				t.Fatalf("sealed value changed after writers: %q -> %q", want, got)
+			}
+		})
+	}
+}
+
+// TestForkIndependence checks that sibling forks of one sealed snapshot do
+// not observe each other's writes.
+func TestForkIndependence(t *testing.T) {
+	for _, fx := range sealFixtures() {
+		t.Run(fx.kind.String(), func(t *testing.T) {
+			obj := fx.build(t)
+			obj.Seal()
+			f1, f2 := obj.Fork(), obj.Fork()
+			fx.mutate(t, f1, 1)
+			fx.mutate(t, f1, 2)
+			if !reflect.DeepEqual(f2.Value(), obj.Value()) {
+				t.Fatalf("sibling fork observed writes: %v vs %v", f2.Value(), obj.Value())
+			}
+			fx.mutate(t, f2, 3)
+			if reflect.DeepEqual(f1.Value(), f2.Value()) {
+				t.Fatalf("forks converged unexpectedly: %v", f1.Value())
+			}
+		})
+	}
+}
+
+// TestCowCopiesCounter checks the cow-copy counter moves when a fork first
+// writes a shared container.
+func TestCowCopiesCounter(t *testing.T) {
+	s := NewORSet()
+	mustApply(t, s, fixtureMeta("a", 1), s.PrepareAdd("x"))
+	s.Seal()
+	before := CowCopies()
+	fork := s.Fork()
+	mustApply(t, fork, fixtureMeta("w", 1), fork.(*ORSet).PrepareAdd("y"))
+	if CowCopies() <= before {
+		t.Fatalf("CowCopies did not advance: %d -> %d", before, CowCopies())
+	}
+}

@@ -632,6 +632,11 @@ func (t *Tx) Read(id txn.ObjectID) (crdt.Object, error) {
 		if u.Object != id {
 			continue
 		}
+		// Reads may be shared sealed snapshots; fork before the first
+		// buffered update.
+		if obj.Sealed() {
+			obj = obj.Fork()
+		}
 		if err := obj.Apply(u.Meta(t.dot), u.Op); err != nil {
 			return nil, err
 		}
@@ -1090,7 +1095,11 @@ func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) an
 	return d.materializeLocked(id, cut)
 }
 
-// materializeLocked clones the object state at the given cut.
+// materializeLocked materialises the object state at the given cut. The
+// store hands back a sealed snapshot shared with its materialisation cache,
+// so fanning the same state out to many subscribers costs no copies; the
+// receiving side seeds its own store from it (Seed clones) or reads it
+// immutably.
 func (d *DC) materializeLocked(id txn.ObjectID, at vclock.Vector) wire.ObjectState {
 	obj, err := d.coord.Read(id, at, store.ReadOptions{})
 	if err != nil {

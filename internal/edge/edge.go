@@ -174,7 +174,12 @@ type Node struct {
 	closed    bool
 	lamport   vclock.Lamport
 	st        *store.Store
-	state     vclock.Vector // LUB of received stable cuts and acked local commits
+	state vclock.Vector // LUB of received stable cuts and acked local commits
+	// stateSnap is the epoch snapshot Begin hands to transactions: a clone
+	// of state taken lazily once per state change instead of once per
+	// transaction. It is shared (read-only) by every Tx begun in the epoch
+	// and invalidated by joinState.
+	stateSnap vclock.Vector
 	stable    vclock.Vector // K-stable cut received from the DC
 	acked     vclock.Vector // LUB of concrete commit vectors of own acked txs
 	interest  map[txn.ObjectID]bool
@@ -299,6 +304,14 @@ func (n *Node) State() vclock.Vector {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.state.Clone()
+}
+
+// joinState folds v into the node's state vector and invalidates the Begin
+// epoch snapshot (transactions begun before the change keep reading the old
+// epoch's shared clone). Callers hold n.mu.
+func (n *Node) joinState(v vclock.Vector) {
+	n.state = n.state.Join(v)
+	n.stateSnap = nil
 }
 
 // StableVector returns the K-stable cut last received.
@@ -477,7 +490,7 @@ func (n *Node) Promote(dot vclock.Dot, dcIdx int, ts uint64, stable vclock.Vecto
 	_ = n.st.Promote(dot, dcIdx, ts)
 	if t, ok := n.st.Transaction(dot); ok {
 		if cv, ok := t.CommitVector(); ok {
-			n.state = n.state.Join(cv)
+			n.joinState(cv)
 			if t.Origin == n.cfg.Name {
 				n.acked = n.acked.Join(cv)
 				n.observeAckLocked(dot, cv)
@@ -485,7 +498,7 @@ func (n *Node) Promote(dot vclock.Dot, dcIdx int, ts uint64, stable vclock.Vecto
 		}
 	}
 	n.stable = n.stable.Join(stable)
-	n.state = n.state.Join(n.stable)
+	n.joinState(n.stable)
 	n.sweepStableLocked()
 }
 
@@ -645,11 +658,11 @@ func (n *Node) subscribe(dc string, ids []txn.ObjectID, resume bool, since vcloc
 			// transaction could read one object's base (which bakes in a
 			// commit) while another object's journal entry for the same
 			// commit is still below the snapshot — a torn, non-atomic read.
-			n.state = n.state.Join(st.Vec)
+			n.joinState(st.Vec)
 		}
 	}
 	n.stable = n.stable.Join(ack.Stable)
-	n.state = n.state.Join(n.stable)
+	n.joinState(n.stable)
 	n.sweepStableLocked()
 	return nil
 }
@@ -694,7 +707,7 @@ func (n *Node) ApplyPush(m wire.PushTxs) {
 		}
 	}
 	n.stable = n.stable.Join(m.Stable)
-	n.state = n.state.Join(n.stable)
+	n.joinState(n.stable)
 	n.sweepStableLocked()
 	fns := n.listenersFor(touched)
 	hook := n.hooks.Push
@@ -744,9 +757,17 @@ type Tx struct {
 // transaction's own buffered updates (an RGA insert anchored on an element
 // inserted earlier in the same transaction, for instance) reference the
 // final update tags.
+//
+// The snapshot is the shared epoch clone of the state vector — one clone
+// per state change rather than one per transaction. Transactions treat it
+// as read-only (Commit clones it lazily, only when the transaction turns
+// out to have writes).
 func (n *Node) Begin() *Tx {
 	n.mu.Lock()
-	snap := n.state.Clone()
+	if n.stateSnap == nil {
+		n.stateSnap = n.state.Clone()
+	}
+	snap := n.stateSnap
 	dot := vclock.Dot{Node: n.cfg.Name, Seq: n.lamport.Next()}
 	n.mu.Unlock()
 	return &Tx{n: n, dot: dot, snapshot: snap}
@@ -795,9 +816,14 @@ func (t *Tx) ReadTracked(id txn.ObjectID, kind crdt.Kind) (crdt.Object, ReadSour
 		t.n.obsDCFetches.Inc()
 	}
 	// Read-your-writes within the transaction, under the final update tags.
+	// The store hands out shared sealed snapshots; the first buffered update
+	// forks one into a private copy-on-write view.
 	for _, u := range t.updates {
 		if u.Object != id {
 			continue
+		}
+		if obj.Sealed() {
+			obj = obj.Fork()
 		}
 		if err := obj.Apply(u.Meta(t.dot), u.Op); err != nil {
 			return nil, 0, err
@@ -835,7 +861,7 @@ func (n *Node) fetchMiss(id txn.ObjectID, kind crdt.Kind, at vclock.Vector) (crd
 	n.mu.Lock()
 	if !n.st.Has(id) {
 		n.st.Seed(id, obj, st.Vec, st.Folded...)
-		n.state = n.state.Join(st.Vec) // see subscribe: bases stay ≤ state
+		n.joinState(st.Vec) // see subscribe: bases stay ≤ state
 	}
 	n.interest[id] = true
 	dc := n.connected
@@ -847,7 +873,10 @@ func (n *Node) fetchMiss(id txn.ObjectID, kind crdt.Kind, at vclock.Vector) (crd
 	// an empty Since would rewind the subscription and replay the whole log
 	// on every cache miss.
 	_ = n.node.Send(dc, wire.Subscribe{Node: name, Objects: []txn.ObjectID{id}, Resume: true, Since: since})
-	return obj.Clone(), source, nil
+	// No clone: Seed stored its own sealed copy, and a sealed obj (served
+	// from a shared snapshot) is read-safe — ReadTracked forks before any
+	// buffered-update replay.
+	return obj, source, nil
 }
 
 // fetchFromDC is the default cache-miss fetcher.
@@ -1032,12 +1061,12 @@ func (n *Node) drainUnacked() {
 			if t, ok := n.st.Transaction(ack.Dot); ok {
 				if cv, ok := t.CommitVector(); ok {
 					n.acked = n.acked.Join(cv)
-					n.state = n.state.Join(cv)
+					n.joinState(cv)
 					n.observeAckLocked(ack.Dot, cv)
 				}
 			}
 			n.stable = n.stable.Join(ack.Stable)
-			n.state = n.state.Join(n.stable)
+			n.joinState(n.stable)
 			n.sweepStableLocked()
 			if len(n.unacked) > 0 && n.unacked[0].Dot == ack.Dot {
 				n.unacked = n.unacked[1:]

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"colony/internal/crdt"
 	"colony/internal/obs"
 	"colony/internal/vclock"
 )
@@ -59,6 +60,12 @@ func (s *Store) maybeAutoAdvance(longest int) {
 // only if keepDots is false; keeping dots preserves duplicate filtering
 // across migration at the cost of memory.
 //
+// The base is sealed and may be shared with in-flight readers, so the fold
+// builds a copy-on-write fork, compacts sequence tombstones on it — every
+// operation in the folded base is stable at cut, so tombstones no retained
+// element anchors on can never be referenced by an op the cut admits — and
+// seals the fork as the new base.
+//
 // Shards are advanced one at a time, so concurrent reads of untouched shards
 // proceed; cut must be stable (every future read vector dominates it), which
 // also makes the shard-by-shard fold invisible to readers.
@@ -68,10 +75,14 @@ func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		for id, obj := range sh.objects {
+			var fork crdt.Object
 			kept := obj.journal[:0]
 			for _, e := range obj.journal {
 				if e.tx.VisibleAt(cut) {
-					if err := obj.base.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+					if fork == nil {
+						fork = obj.base.Fork()
+					}
+					if err := fork.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
 						sh.mu.Unlock()
 						return fmt.Errorf("advance %s: %w", id, err)
 					}
@@ -81,6 +92,13 @@ func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
 				kept = append(kept, e)
 			}
 			obj.journal = kept
+			if fork != nil {
+				if c, ok := fork.(crdt.Compactor); ok {
+					c.CompactTombstones()
+				}
+				fork.Seal()
+				obj.base = fork
+			}
 			obj.baseVec = obj.baseVec.Join(cut)
 			// The base moved and journal indices shifted; drop the
 			// memoised materialisation.

@@ -58,8 +58,10 @@ func fingerprint(opts ReadOptions) (readFP, bool) {
 // matCache memoises an object's last materialisation.
 //
 // A published matCache is immutable — invalidation and refresh replace the
-// whole struct — and its state field is only ever cloned from, never
-// mutated, so concurrent readers can share one.
+// whole struct — and its state field is a sealed snapshot that readers
+// share directly: a cache hit returns the sealed object with zero copying,
+// and an incremental refresh forks it (copy-on-write) instead of deep
+// cloning.
 type matCache struct {
 	// state is the materialisation of journal[:watermark] at cut vec under
 	// fingerprint fp.
@@ -85,7 +87,10 @@ type matCache struct {
 //
 // Cache-eligible reads (see the package comment) reuse the object's last
 // materialisation when possible and replay only journal entries past its
-// watermark.
+// watermark. The returned object is usually a *sealed* snapshot shared with
+// the cache and other readers: accessors and Prepare* helpers are safe, but
+// callers that need to Apply to it must Fork first (Apply on a sealed
+// object returns crdt.ErrSealed rather than corrupting concurrent readers).
 func (s *Store) Read(id txn.ObjectID, at vclock.Vector, opts ReadOptions) (crdt.Object, error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
@@ -121,7 +126,9 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 		cacheable = false
 	}
 	if !cacheable {
-		out, _, err := s.replay(id, obj.base.Clone(), obj.journal, at, opts)
+		// Non-cacheable reads hand the caller a private, mutable fork of the
+		// base (copy-on-write against the sealed base version).
+		out, _, err := s.replay(id, obj.base.Fork(), obj.journal, at, opts)
 		return out, err
 	}
 
@@ -135,13 +142,16 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 			s.bus.Publish(obs.Event{Type: obs.EvCacheHit, Node: s.self, Object: id.String()})
 		}
 		if c.watermark == len(obj.journal) {
-			// Nothing new since the cached materialisation.
-			return c.state.Clone(), nil
+			// Nothing new since the cached materialisation: share the sealed
+			// snapshot directly — the allocation-free fast path.
+			s.snapshots.Inc()
+			return c.state, nil
 		}
-		out, all, err := s.replay(id, c.state.Clone(), obj.journal[c.watermark:], at, opts)
+		out, all, err := s.replay(id, c.state.Fork(), obj.journal[c.watermark:], at, opts)
 		if err != nil {
 			return nil, err
 		}
+		out.Seal()
 		s.installCache(obj, &matCache{
 			state:      out,
 			vec:        at.Clone(),
@@ -149,7 +159,8 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 			allApplied: all,
 			fp:         fp,
 		})
-		return out.Clone(), nil
+		s.snapshots.Inc()
+		return out, nil
 	}
 
 	// Full replay; memoise the result when it supersedes the cached one.
@@ -157,10 +168,11 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 	if s.bus.Active() {
 		s.bus.Publish(obs.Event{Type: obs.EvCacheMiss, Node: s.self, Object: id.String()})
 	}
-	out, all, err := s.replay(id, obj.base.Clone(), obj.journal, at, opts)
+	out, all, err := s.replay(id, obj.base.Fork(), obj.journal, at, opts)
 	if err != nil {
 		return nil, err
 	}
+	out.Seal()
 	s.installCache(obj, &matCache{
 		state:      out,
 		vec:        at.Clone(),
@@ -168,7 +180,8 @@ func (s *Store) materializeLocked(id txn.ObjectID, obj *object, at vclock.Vector
 		allApplied: all,
 		fp:         fp,
 	})
-	return out.Clone(), nil
+	s.snapshots.Inc()
+	return out, nil
 }
 
 // installCache publishes next as the object's materialisation unless the
@@ -185,7 +198,8 @@ func (s *Store) installCache(obj *object, next *matCache) {
 	obj.cacheMu.Unlock()
 }
 
-// replay folds the visible entries of journal into state (mutating it) and
+// replay folds the visible entries of journal into state (mutating it — the
+// caller must pass an owned, unsealed object, typically a fresh Fork) and
 // reports whether every entry was applied.
 func (s *Store) replay(id txn.ObjectID, state crdt.Object, journal []entry, at vclock.Vector, opts ReadOptions) (crdt.Object, bool, error) {
 	all := true

@@ -1,11 +1,12 @@
 // Package store implements Colony's versioned object store (paper §4.1).
 //
-// An object is kept as a *base version* — a materialised CRDT state at some
-// causal cut — plus a *journal* of committed updates since the base. Reading
-// an object at an arbitrary snapshot vector clones the base and replays the
-// journal entries visible at that vector. The system occasionally advances
-// the base to truncate the journal — explicitly through Advance, or
-// automatically through a SetAutoAdvance policy.
+// An object is kept as a *base version* — a sealed, materialised CRDT state
+// at some causal cut — plus a *journal* of committed updates since the base.
+// Reading an object at an arbitrary snapshot vector forks the base
+// (copy-on-write) and replays the journal entries visible at that vector.
+// The system occasionally advances the base to truncate the journal —
+// explicitly through Advance, or automatically through a SetAutoAdvance
+// policy.
 //
 // The store is the *backend* layer of Colony's state/visibility split: it
 // accepts and stores transactions without regard for correctness; the
@@ -18,10 +19,12 @@
 // own read-write lock, so concurrent reads and applies of different objects
 // do not serialise. The transaction index (the dot filter) lives under a
 // separate lock of its own. Each object additionally memoises its last
-// materialisation — the CRDT state, the cut it was built at, and a journal
-// watermark — so a read whose cut dominates the cached cut clones the cached
-// state and replays only the journal entries past the watermark: amortised
-// O(new entries) instead of O(journal length).
+// materialisation — a sealed CRDT snapshot, the cut it was built at, and a
+// journal watermark — so a read whose cut dominates the cached cut returns
+// the sealed snapshot itself (zero copies, zero allocations) when nothing
+// new arrived, and otherwise forks it copy-on-write and replays only the
+// journal entries past the watermark: amortised O(new entries) instead of
+// O(journal length).
 //
 // A read is cache-eligible when its ReadOptions satisfy both of:
 //
@@ -134,6 +137,7 @@ type Store struct {
 	cacheHits *obs.Counter
 	cacheMiss *obs.Counter
 	baseAdv   *obs.Counter
+	snapshots *obs.Counter
 	bus       *obs.Bus
 }
 
@@ -155,20 +159,24 @@ func (s *Store) SetCacheMode(on bool) { s.cacheMode = on }
 
 // SetObs attaches the deployment's observability registry. The store records
 // store.cache_hit / store.cache_miss counters (materialisation-cache outcome
-// of cache-eligible reads), store.base_advance, registers itself as a source
-// of the store.max_journal_len gauge (AggMax across the deployment's
-// stores), and publishes EvCacheHit/EvCacheMiss/EvBaseAdvanced events.
-// Passing nil detaches counters but keeps a previously registered gauge
-// source (registries have no unregister; the source just keeps reporting).
-// Must be called before the store is shared between goroutines.
+// of cache-eligible reads), store.base_advance, crdt.snapshots (sealed
+// snapshots returned without a deep clone), registers itself as a source of
+// the store.max_journal_len gauge (AggMax across the deployment's stores)
+// and the process-wide crdt.cow_copies gauge (containers actually copied by
+// copy-on-write forks), and publishes EvCacheHit/EvCacheMiss/EvBaseAdvanced
+// events. Passing nil detaches counters but keeps a previously registered
+// gauge source (registries have no unregister; the source just keeps
+// reporting). Must be called before the store is shared between goroutines.
 func (s *Store) SetObs(r *obs.Registry) {
 	s.cacheHits = r.Counter("store.cache_hit")
 	s.cacheMiss = r.Counter("store.cache_miss")
 	s.baseAdv = r.Counter("store.base_advance")
+	s.snapshots = r.Counter("crdt.snapshots")
 	s.bus = r.Events()
 	r.RegisterGauge("store.max_journal_len", obs.AggMax, func() int64 {
 		return int64(s.MaxJournalLen())
 	})
+	r.RegisterGauge("crdt.cow_copies", obs.AggMax, crdt.CowCopies)
 }
 
 // SetReadCache enables or disables the per-object materialisation cache
@@ -284,6 +292,9 @@ func (s *Store) Apply(t *txn.Transaction) error {
 				s.unlockShards(&mask)
 				return fmt.Errorf("apply %s: %w", t.Dot, err)
 			}
+			// Bases are always sealed: reads fork them copy-on-write, and
+			// Advance replaces them wholesale.
+			base.Seal()
 			obj = &object{kind: u.Kind, base: base}
 			sh.objects[u.Object] = obj
 			// Updates from earlier transactions that were skipped while the
@@ -418,7 +429,9 @@ func (s *Store) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	obj := &object{kind: base.Kind(), base: base.Clone(), baseVec: at.Clone()}
+	b := base.Clone()
+	b.Seal()
+	obj := &object{kind: base.Kind(), base: b, baseVec: at.Clone()}
 	if len(folded) > 0 {
 		obj.folded = make(map[vclock.Dot]bool, len(folded))
 		for _, d := range folded {

@@ -111,8 +111,11 @@ type Unsubscribe struct {
 type ObjectState struct {
 	ID   txn.ObjectID
 	Kind crdt.Kind
-	// Object is a deep clone materialised at Vec; nil when the DC has no
-	// state for the id (the object starts from its initial state).
+	// Object is the state materialised at Vec — typically a sealed snapshot
+	// shared with the sender's materialisation cache, so receivers must
+	// treat it as immutable (Seed it, Clone it, or Fork it before any
+	// Apply); nil when the DC has no state for the id (the object starts
+	// from its initial state).
 	Object crdt.Object
 	Vec    vclock.Vector
 	// ViaDC marks that a group parent had to fall through to the DC to
