@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout
 
 all: check
 
@@ -10,14 +10,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The crdt, store, dc, edge, obs and wal packages carry the concurrency-heavy
-# code (sealed snapshots shared across reader goroutines with COW forks,
-# sharded store locks, background base advancement, ClockSI 2PC, lock-free
-# edge stats, the event bus, the group-commit WAL writer and the staged DC
-# write pipeline — including the ≥8-committer convergence test); run them
-# under the race detector on every check.
+# The crdt, store, dc, edge, obs, wal and simnet packages carry the
+# concurrency-heavy code (sealed snapshots shared across reader goroutines
+# with COW forks, sharded store locks, background base advancement, ClockSI
+# 2PC, lock-free edge stats, the event bus, the group-commit WAL writer, the
+# staged DC write pipeline — including the ≥8-committer convergence test —
+# the interest-sharded push fan-out and simnet's pooled multi-destination
+# scheduler); run them under the race detector on every check.
 test-race:
-	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal
+	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +53,15 @@ bench-pipeline:
 # § Observability).
 bench-obs:
 	$(GO) test -run xxx -bench BenchmarkStoreReadObs -benchmem ./internal/store
+
+# A/B of the DC push fan-out: per-subscriber (one goroutine, one filter pass
+# and one cloned frame per subscriber) vs interest-sharded (one filter pass
+# and one sealed shared frame per shard, bounded worker pool) at 1k/10k/100k
+# Zipf-skewed subscribers. Records the comparison to BENCH_fanout.json at
+# the repo root; acceptance requires the sharded path >=5x delivered-txs/s
+# at 100k and zero delivery-order/interest violations in both modes.
+bench-fanout:
+	$(GO) run ./cmd/colony-bench fanout
 
 # A/B of the RGA read/materialisation hot path: legacy recursive-tree kernel
 # with deep-clone reads vs the indexed COW kernel with sealed snapshots and

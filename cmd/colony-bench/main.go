@@ -7,7 +7,9 @@
 //	colony-bench fig7    # migration / group synchronisation timeline
 //	colony-bench claims    # headline numbers (§1, §7.3)
 //	colony-bench ablations # K-stability / commit-variant / group-size / cache
-//	colony-bench all       # everything, in order
+//	colony-bench fanout    # push fan-out A/B at 1k/10k/100k subscribers
+//	colony-bench all       # everything, in order (fanout excluded: run it
+//	                       # explicitly or via make bench-fanout)
 //
 // Output is printed as aligned tables plus CSV blocks that plot directly.
 // --scale accelerates the modelled network (0.1 = 10× faster than the
@@ -15,10 +17,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +48,9 @@ func run(args []string) error {
 		quick      = fs.Bool("quick", false, "small configurations for a fast sanity run")
 		obsDump    = fs.Bool("obs", true, "print the per-run instrumentation snapshot after each fig4 point")
 		inline     = fs.Bool("inline", false, "run the DCs on the serial pre-pipeline write path (A/B baseline)")
+		fanSizes   = fs.String("fanout-sizes", "1000,10000,100000", "comma-separated subscriber populations for the fanout A/B")
+		fanCommits = fs.Int("fanout-commits", 64, "transactions committed per fanout run")
+		fanOut     = fs.String("fanout-out", "BENCH_fanout.json", "output file for the fanout A/B record")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +63,7 @@ func run(args []string) error {
 		*maxClients = 32
 		*actions = 10
 		*duration = 20 * time.Second
+		*fanSizes = "500,2000"
 	}
 
 	progress := func(msg string) { fmt.Fprintf(os.Stderr, "… %s\n", msg) }
@@ -104,6 +112,8 @@ func run(args []string) error {
 		printTimeline("Figure 7 — synchronising with a peer group", res)
 	case "ablations":
 		return runAblations(*scale, *seed)
+	case "fanout":
+		return runFanout(*fanSizes, *fanCommits, *fanOut, *seed, progress)
 	case "claims", "all":
 		pts, err := bench.RunFig4(fig4cfg, progress)
 		if err != nil {
@@ -131,7 +141,7 @@ func run(args []string) error {
 		}
 		printClaims(bench.DeriveClaims(fig4, fig5))
 	default:
-		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|all)", cmd)
+		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|fanout|all)", cmd)
 	}
 	return nil
 }
@@ -176,6 +186,112 @@ func runAblations(scale float64, seed int64) error {
 	}
 	for _, r := range cs {
 		fmt.Printf("%8d %9.1f%%\n", r.Limit, 100*r.HitRate)
+	}
+	return nil
+}
+
+// fanoutRun is one population point of the recorded fan-out A/B.
+type fanoutRun struct {
+	Subscribers   int                `json:"subscribers"`
+	PerSubscriber bench.FanoutResult `json:"per_subscriber"`
+	Sharded       bench.FanoutResult `json:"sharded"`
+	// Speedup is sharded over per-subscriber on delivered-txs/s.
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is per-subscriber over sharded on allocations per
+	// delivered transaction (higher = more saved by sharing frames).
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// runFanout records the interest-sharded vs per-subscriber push fan-out A/B
+// (DESIGN.md §4e) to outPath. Acceptance: zero delivery violations in both
+// modes and ≥5× delivered-txs/s for the sharded path at the largest
+// population.
+func runFanout(sizesCSV string, commits int, outPath string, seed int64, progress func(string)) error {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -fanout-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+
+	var runs []fanoutRun
+	for _, size := range sizes {
+		cfg := bench.FanoutConfig{Subscribers: size, Commits: commits, Seed: seed}
+		cfg.PerSubscriber = true
+		base, err := bench.RunFanout(cfg, progress)
+		if err != nil {
+			return err
+		}
+		cfg.PerSubscriber = false
+		sharded, err := bench.RunFanout(cfg, progress)
+		if err != nil {
+			return err
+		}
+		run := fanoutRun{Subscribers: size, PerSubscriber: base, Sharded: sharded}
+		if base.DeliveredPerSec > 0 {
+			run.Speedup = sharded.DeliveredPerSec / base.DeliveredPerSec
+		}
+		if sharded.AllocsPerTx > 0 {
+			run.AllocRatio = base.AllocsPerTx / sharded.AllocsPerTx
+		}
+		runs = append(runs, run)
+	}
+
+	fmt.Println("\n== Push fan-out A/B — per-subscriber vs interest-sharded (Zipf-skewed interest) ==")
+	fmt.Printf("%10s %16s %16s %8s %12s %12s %8s %8s\n",
+		"subs", "persub(tx/s)", "sharded(tx/s)", "speedup", "allocs/tx", "allocs/tx", "shards", "shared%")
+	for _, r := range runs {
+		sharedPct := 0.0
+		if total := r.Sharded.FramesBuilt + r.Sharded.FramesShared; total > 0 {
+			sharedPct = 100 * float64(r.Sharded.FramesShared) / float64(total)
+		}
+		fmt.Printf("%10d %16.0f %16.0f %7.1fx %12.1f %12.1f %8d %7.1f%%\n",
+			r.Subscribers, r.PerSubscriber.DeliveredPerSec, r.Sharded.DeliveredPerSec,
+			r.Speedup, r.PerSubscriber.AllocsPerTx, r.Sharded.AllocsPerTx,
+			r.Sharded.Shards, sharedPct)
+	}
+
+	out := struct {
+		Generated string `json:"generated"`
+		Bench     string `json:"bench"`
+		Config    struct {
+			Commits int     `json:"commits"`
+			Buckets int     `json:"buckets"`
+			ZipfS   float64 `json:"zipf_s"`
+			DCs     int     `json:"dcs"`
+			K       int     `json:"k"`
+		} `json:"config"`
+		Runs []fanoutRun `json:"runs"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Bench:     "push fan-out A/B: Zipf-skewed interest, per-subscriber baseline vs interest-sharded (delivered txs/s until all interested subscribers received every commit)",
+		Runs:      runs,
+	}
+	out.Config.Commits = commits
+	out.Config.Buckets = 64
+	out.Config.ZipfS = 1.2
+	out.Config.DCs = 1
+	out.Config.K = 1
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+
+	for _, r := range runs {
+		if v := r.PerSubscriber.Violations + r.Sharded.Violations; v > 0 {
+			return fmt.Errorf("fanout: %d delivery violations at %d subscribers", v, r.Subscribers)
+		}
+	}
+	if last := runs[len(runs)-1]; last.Speedup < 5 {
+		return fmt.Errorf("fanout: sharded speedup %.2fx at %d subscribers, acceptance requires >=5x",
+			last.Speedup, last.Subscribers)
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ func run(args []string) error {
 		datadir = fs.String("datadir", "", "directory for per-DC write-ahead logs (empty disables persistence)")
 		syncw   = fs.Bool("syncwrites", false, "commit acks wait for WAL durability (group-committed; needs -datadir)")
 		inline  = fs.Bool("inline", false, "disable the staged write pipeline (serial per-tx baseline)")
+		persub  = fs.Bool("persub", false, "per-subscriber push fan-out instead of interest shards (A/B baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(args []string) error {
 		DataDir:              *datadir,
 		SyncWrites:           *syncw,
 		InlineWritePath:      *inline,
+		PerSubscriberPush:    *persub,
 	})
 	if err != nil {
 		return err

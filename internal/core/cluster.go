@@ -84,6 +84,11 @@ type ClusterConfig struct {
 	// batched replication senders, group-commit WAL, async push fan-out) and
 	// restores the serial per-transaction path — the A/B baseline.
 	InlineWritePath bool
+	// PerSubscriberPush keeps the pipeline but replaces the DCs' default
+	// interest-sharded push fan-out with the per-subscriber variant (one
+	// outbox, goroutine and filter pass per subscriber) — the fan-out A/B
+	// baseline (make bench-fanout). Ignored when InlineWritePath is set.
+	PerSubscriberPush bool
 	// Obs is the deployment's instrumentation registry. Nil creates a fresh
 	// registry, so every deployment is always observable via Cluster.Obs();
 	// supply one to aggregate several clusters into a single exposition.
@@ -153,6 +158,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DataDir:     dataDir,
 			SyncWrites:  cfg.SyncWrites,
 			Inline:      cfg.InlineWritePath,
+
+			PerSubscriberPush: cfg.PerSubscriberPush,
 
 			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})

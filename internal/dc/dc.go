@@ -90,6 +90,15 @@ type Config struct {
 	// It exists for A/B benchmarking (make bench-pipeline) and as an escape
 	// hatch; production configurations leave it false.
 	Inline bool
+	// PerSubscriberPush restores PR 3's pipelined fan-out — one outbox, one
+	// goroutine and one interest-filter pass per subscriber — instead of the
+	// default interest-sharded fan-out. It exists for A/B benchmarking
+	// (make bench-fanout); ignored when Inline is set.
+	PerSubscriberPush bool
+	// PushShardWorkers bounds the worker pool that drains dirty interest
+	// shards in sharded fan-out mode (default 4). Irrelevant in inline and
+	// per-subscriber modes.
+	PushShardWorkers int
 	// ServiceTime and Workers model the DC's finite capacity for
 	// client-facing requests (commit acceptance, fetches, subscriptions,
 	// migrated transactions): each such request occupies one of Workers
@@ -127,6 +136,15 @@ type subscription struct {
 	notify        chan struct{}
 	stop          chan struct{}
 	stopOnce      sync.Once
+
+	// Interest-sharded fan-out bookkeeping (zero in inline and
+	// per-subscriber modes). shard is the interest shard this subscription
+	// currently belongs to, guarded by the fanout mutex. deliveredIdx is the
+	// log index the subscriber has been sent through and fanGen the log
+	// generation it belongs to; both are guarded by outMu, like sentStable.
+	shard        *pushShard
+	deliveredIdx int
+	fanGen       uint64
 }
 
 // signal wakes the subscription's push worker (no-op if already signalled).
@@ -189,14 +207,24 @@ type DC struct {
 	pipeStop chan struct{}
 	pipeWG   sync.WaitGroup
 
+	// fan is the interest-sharded fan-out engine (nil in inline and
+	// per-subscriber modes); fanShards/fanDirty mirror its shard count and
+	// dirty-queue depth for the obs gauges without taking its lock.
+	fan       *fanout
+	fanShards atomic.Int64
+	fanDirty  atomic.Int64
+
 	// Instrumentation handles (nil-safe no-ops when Config.Obs is unset).
-	obsEdgeCommits *obs.Counter
-	obsEdgeNacks   *obs.Counter
-	obsReplRx      *obs.Counter
-	obsWALErrors   *obs.Counter
-	obsPushBatch   *obs.Histogram
-	obsReplBatch   *obs.Histogram
-	obsReplLat     *obs.Histogram
+	obsEdgeCommits  *obs.Counter
+	obsEdgeNacks    *obs.Counter
+	obsReplRx       *obs.Counter
+	obsWALErrors    *obs.Counter
+	obsFramesBuilt  *obs.Counter
+	obsFramesShared *obs.Counter
+	obsPushBatch    *obs.Histogram
+	obsReplBatch    *obs.Histogram
+	obsReplLat      *obs.Histogram
+	obsShardFanout  *obs.Histogram
 
 	stopHeartbeat chan struct{}
 	heartbeatDone chan struct{}
@@ -232,6 +260,9 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 	if cfg.ReplBatchMax <= 0 {
 		cfg.ReplBatchMax = 128
 	}
+	if cfg.PushShardWorkers <= 0 {
+		cfg.PushShardWorkers = 4
+	}
 	d := &DC{
 		cfg:           cfg,
 		coord:         coord,
@@ -251,14 +282,23 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 		d.obsEdgeNacks = cfg.Obs.Counter("dc.edge_nacks")
 		d.obsReplRx = cfg.Obs.Counter("dc.repl_rx")
 		d.obsWALErrors = cfg.Obs.Counter("dc.wal_errors")
+		d.obsFramesBuilt = cfg.Obs.Counter("dc.push_frames_built")
+		d.obsFramesShared = cfg.Obs.Counter("dc.push_frames_shared")
 		d.obsPushBatch = cfg.Obs.Histogram("dc.push_batch_txs")
 		d.obsReplBatch = cfg.Obs.Histogram("dc.repl_batch_txs")
 		d.obsReplLat = cfg.Obs.Histogram("dc.repl_propagation_ns")
+		d.obsShardFanout = cfg.Obs.Histogram("dc.push_shard_fanout")
 		cfg.Obs.RegisterGauge("dc.repl_outbox_depth", obs.AggSum, func() int64 {
 			return d.replDepth.Load()
 		})
 		cfg.Obs.RegisterGauge("dc.push_outbox_depth", obs.AggSum, func() int64 {
 			return d.pushDepth.Load()
+		})
+		cfg.Obs.RegisterGauge("dc.push_shards", obs.AggSum, func() int64 {
+			return d.fanShards.Load()
+		})
+		cfg.Obs.RegisterGauge("dc.push_dirty_shards", obs.AggSum, func() int64 {
+			return d.fanDirty.Load()
 		})
 		coord.SetObs(cfg.Obs)
 	}
@@ -295,6 +335,13 @@ func New(net *simnet.Network, cfg Config) (*DC, error) {
 			return nil, err
 		}
 		d.journal = logFile
+	}
+	if !cfg.Inline && !cfg.PerSubscriberPush {
+		d.fan = newFanout(d)
+		for i := 0; i < cfg.PushShardWorkers; i++ {
+			d.pipeWG.Add(1)
+			go d.runShardWorker()
+		}
 	}
 	d.node = net.AddNode(cfg.Name, d.handle)
 	if cfg.Heartbeat > 0 {
@@ -396,6 +443,9 @@ func (d *DC) Close() {
 	close(d.stopHeartbeat)
 	<-d.heartbeatDone
 	close(d.pipeStop)
+	if d.fan != nil {
+		d.fan.stop()
+	}
 	d.pipeWG.Wait()
 	if journal != nil {
 		_ = journal.Close()
@@ -518,7 +568,7 @@ func (d *DC) heartbeatLoop() {
 			for _, p := range d.peers {
 				peers = append(peers, p)
 			}
-			d.updateSubscribersLocked()
+			d.notifySubscribersLocked(true)
 			d.mu.Unlock()
 			for _, p := range peers {
 				_ = d.node.Send(p, msg) // partitions surface elsewhere
@@ -561,7 +611,9 @@ func (d *DC) handle(from string, msg any) any {
 	case wire.ReplHeartbeat:
 		d.mesh.ObservePeer(m.From, m.State)
 		d.mu.Lock()
-		d.updateSubscribersLocked()
+		// A gossip receipt is a stability advance without local traffic:
+		// broadcast it so quiet-bucket subscribers' cuts keep moving.
+		d.notifySubscribersLocked(true)
 		resend, peer := d.antiEntropyLocked(m)
 		d.mu.Unlock()
 		if len(resend.Txs) > 0 && peer != "" {
@@ -728,7 +780,7 @@ func (d *DC) commitAt(t *txn.Transaction) (vclock.CommitStamps, error) {
 			outs = append(outs, o)
 		}
 	}
-	d.updateSubscribersLocked()
+	d.notifySubscribersLocked(false)
 	d.mu.Unlock()
 	if d.cfg.Inline {
 		for _, p := range inlinePeers {
@@ -920,7 +972,7 @@ func (d *DC) receiveReplicated(m wire.ReplBatch) {
 		d.recordLocked(t)
 	}
 	d.mesh.ObserveSelf(d.state)
-	d.updateSubscribersLocked()
+	d.notifySubscribersLocked(false)
 	ackTo, ack := d.peers[m.From], wire.ReplHeartbeat{From: d.cfg.Index, State: d.state.Clone()}
 	d.mu.Unlock()
 	// Acknowledge with our new state vector so the sender's K-stability
@@ -958,9 +1010,17 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 			}
 			sub.logIdx++
 		}
-		if !d.cfg.Inline && !d.closed {
-			sub.pendingStable = start.Clone()
-			sub.sentStable = start.Clone()
+		if d.fan != nil {
+			// Sharded: no per-subscriber goroutine. The delivery cursor
+			// starts at the start cut; if that is behind the scan frontier
+			// (Resume with an old Since), the placement kick below makes the
+			// first flush repair the gap.
+			sub.sentStable = start
+			sub.deliveredIdx = sub.logIdx
+			sub.fanGen = d.fan.gen.Load()
+		} else if !d.cfg.Inline && !d.closed {
+			sub.pendingStable = start
+			sub.sentStable = start
 			sub.notify = make(chan struct{}, 1)
 			sub.stop = make(chan struct{})
 			d.pipeWG.Add(1)
@@ -992,10 +1052,15 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 		ack.Stable = sub.sentStable.Clone()
 	}
 	sub.outMu.Unlock()
+	if d.fan != nil && !d.closed {
+		// (Re)place in the interest shard matching the possibly-extended
+		// signature; the kick repairs any cursor gap.
+		d.fan.place(sub)
+	}
 	for _, id := range m.Objects {
 		ack.Objects = append(ack.Objects, d.materializeLocked(id, seedCut))
 	}
-	d.updateSubscribersLocked()
+	d.notifySubscribersLocked(false)
 	d.mu.Unlock()
 	return ack
 }
@@ -1018,10 +1083,20 @@ func (d *DC) rewindSubLocked(sub *subscription, cut vclock.Vector) {
 		return
 	}
 	sub.outMu.Lock()
+	if d.fan != nil {
+		// Sharded: pull the delivery cursor back; the next flush of the
+		// subscriber's shard rebuilds the gap from the log (repair frame).
+		if sub.logIdx < sub.deliveredIdx {
+			sub.deliveredIdx = sub.logIdx
+		}
+		sub.sentStable = sub.stable
+		sub.outMu.Unlock()
+		return
+	}
 	d.pushDepth.Add(-int64(len(sub.pending)))
 	sub.pending = nil
-	sub.pendingStable = cut.Clone()
-	sub.sentStable = cut.Clone()
+	sub.pendingStable = sub.stable
+	sub.sentStable = sub.stable
 	sub.outMu.Unlock()
 }
 
@@ -1031,6 +1106,9 @@ func (d *DC) dropSubLocked(sub *subscription) {
 	delete(d.subs, sub.node)
 	if sub.stop != nil {
 		sub.stopOnce.Do(func() { close(sub.stop) })
+	}
+	if d.fan != nil {
+		d.fan.remove(sub)
 	}
 	sub.outMu.Lock()
 	d.pushDepth.Add(-int64(len(sub.pending)))
@@ -1059,6 +1137,10 @@ func (d *DC) unsubscribe(m wire.Unsubscribe) {
 	sub.outMu.Unlock()
 	if empty {
 		d.dropSubLocked(sub)
+	} else if d.fan != nil && !d.closed {
+		// The signature may have shrunk: move to the narrower shard so
+		// shared frames stop carrying the dropped buckets.
+		d.fan.place(sub)
 	}
 }
 
@@ -1085,11 +1167,21 @@ func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) an
 		// subscription, losing it for good.
 		sub.outMu.Lock()
 		sub.interest[id] = true
+		ahead := !sub.stable.LEQ(cut)
+		if d.fan != nil {
+			// Sharded mode advances sentStable, not sub.stable.
+			ahead = !sub.sentStable.LEQ(cut)
+		}
 		sub.outMu.Unlock()
-		if !sub.stable.LEQ(cut) {
+		if ahead {
 			// The cursor is ahead of the served cut: rewind so the gap is
 			// replayed (duplicates are filtered downstream).
 			d.rewindSubLocked(sub, cut)
+		}
+		if d.fan != nil && !d.closed {
+			// The fetched bucket joins the signature; the kick replays
+			// updates above the served cut for it.
+			d.fan.place(sub)
 		}
 	}
 	return d.materializeLocked(id, cut)
@@ -1108,21 +1200,32 @@ func (d *DC) materializeLocked(id txn.ObjectID, at vclock.Vector) wire.ObjectSta
 	return wire.ObjectState{ID: id, Kind: obj.Kind(), Object: obj, Vec: at.Clone()}
 }
 
-// updateSubscribersLocked advances every subscriber's cursor over the newly
-// K-stable suffix of the log, in causal (log) order. The scan stops at the
-// first not-yet-stable transaction so pushes never reorder causally related
+// notifySubscribersLocked propagates the newly K-stable suffix of the log to
+// subscribers, in causal (log) order. The scan stops at the first
+// not-yet-stable transaction so pushes never reorder causally related
 // updates.
 //
-// Pipelined (the default), the scan only appends the unfiltered run to the
-// subscriber's outbox and wakes its worker; interest filtering, message
-// construction, and the network send all happen on the worker, outside d.mu,
-// so a slow or saturated edge link cannot stall commits. Inline, the legacy
-// behaviour — filter and send under d.mu — is preserved for A/B comparison.
-func (d *DC) updateSubscribersLocked() {
+// Sharded (the default), the whole subscriber population costs one fanout
+// scan: each new transaction is routed to the interest shards whose bucket
+// set it touches, and the bounded shard-worker pool filters, seals and ships
+// one frame per shard outside d.mu. broadcast marks stability-only triggers
+// (heartbeat tick, gossip receipt): only then is a pure cut advance fanned
+// to every shard — between broadcasts, subscribers learn new cuts from the
+// frames that carry their transactions.
+//
+// Per-subscriber (Config.PerSubscriberPush) keeps PR 3's pipelined model —
+// the scan appends the unfiltered run to each subscriber's outbox and wakes
+// its worker. Inline, the legacy behaviour — filter and send under d.mu — is
+// preserved for A/B comparison.
+func (d *DC) notifySubscribersLocked(broadcast bool) {
 	if len(d.subs) == 0 {
 		return
 	}
 	stable := d.mesh.KStable(d.cfg.K)
+	if d.fan != nil {
+		d.fan.scan(stable, broadcast)
+		return
+	}
 	for _, sub := range d.subs {
 		if d.cfg.Inline {
 			d.pushInlineLocked(sub, stable)
@@ -1144,10 +1247,12 @@ func (d *DC) updateSubscribersLocked() {
 			continue
 		}
 		sub.logIdx = idx
-		sub.stable = stable.Clone()
+		// KStable builds a fresh vector per call and nothing downstream
+		// mutates a cut in place, so every subscriber shares this one.
+		sub.stable = stable
 		sub.outMu.Lock()
 		sub.pending = append(sub.pending, batch...)
-		sub.pendingStable = sub.stable
+		sub.pendingStable = stable
 		sub.outMu.Unlock()
 		d.pushDepth.Add(int64(len(batch)))
 		sub.signal()
@@ -1164,15 +1269,14 @@ func (d *DC) pushInlineLocked(sub *subscription, stable vclock.Vector) {
 			break
 		}
 		idx++
-		filtered := t.Restrict(func(u txn.Update) bool { return sub.interest[u.Object] })
-		if len(filtered.Updates) > 0 {
+		if filtered := t.RestrictShared(func(u txn.Update) bool { return sub.interest[u.Object] }); filtered != nil {
 			batch = append(batch, filtered)
 		}
 	}
 	if len(batch) == 0 && sub.stable.Equal(stable) {
 		return
 	}
-	msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
+	msg := wire.SealPushFrame(d.cfg.Name, batch, stable)
 	d.obsPushBatch.Observe(int64(len(batch)))
 	if err := d.node.Send(sub.node, msg); err != nil {
 		// Subscriber unreachable (offline or migrated): leave the cursor
@@ -1181,7 +1285,7 @@ func (d *DC) pushInlineLocked(sub *subscription, stable vclock.Vector) {
 		return
 	}
 	sub.logIdx = idx
-	sub.stable = stable.Clone()
+	sub.stable = stable
 }
 
 // runPushWorker drains one subscriber's outbox until the subscription or the
@@ -1217,15 +1321,16 @@ func (d *DC) flushSub(sub *subscription) {
 		d.pushDepth.Add(-int64(len(pending)))
 		var batch []*txn.Transaction
 		for _, t := range pending {
-			filtered := t.Restrict(func(u txn.Update) bool { return sub.interest[u.Object] })
-			if len(filtered.Updates) > 0 {
+			if filtered := t.RestrictShared(func(u txn.Update) bool { return sub.interest[u.Object] }); filtered != nil {
 				batch = append(batch, filtered)
 			}
 		}
 		if len(batch) == 0 && stable.Equal(sub.sentStable) {
 			continue
 		}
-		msg := wire.PushTxs{From: d.cfg.Name, Txs: batch, Stable: stable.Clone()}
+		// The frame shares the stable cut and filtered views read-only
+		// (sealed frame contract); no per-subscriber clones.
+		msg := wire.SealPushFrame(d.cfg.Name, batch, stable)
 		d.obsPushBatch.Observe(int64(len(batch)))
 		if err := d.node.Send(sub.node, msg); err != nil {
 			// Subscriber unreachable: requeue and stop; the next commit or
@@ -1235,7 +1340,7 @@ func (d *DC) flushSub(sub *subscription) {
 			d.pushDepth.Add(int64(len(pending)))
 			return
 		}
-		sub.sentStable = stable.Clone()
+		sub.sentStable = stable
 	}
 }
 
@@ -1295,18 +1400,28 @@ func (d *DC) RecheckVisibility() {
 	// unmasked transactions were never delivered, and subscribers
 	// deduplicate replays by dot. Pipelined outboxes are discarded — they may
 	// hold transactions the new policy masks, and the rescan below re-enqueues
-	// everything still visible.
+	// everything still visible. Sharded, the log rebuild shifted every index,
+	// so the fanout generation is bumped (in-flight flushes of the old
+	// generation abandon their cursors) and every cursor restarts at zero.
+	var gen uint64
+	if d.fan != nil {
+		gen = d.fan.reset()
+	}
 	for _, sub := range d.subs {
 		sub.logIdx = 0
 		if d.cfg.Inline {
 			continue
 		}
 		sub.outMu.Lock()
+		if d.fan != nil {
+			sub.deliveredIdx = 0
+			sub.fanGen = gen
+		}
 		d.pushDepth.Add(-int64(len(sub.pending)))
 		sub.pending = nil
 		sub.outMu.Unlock()
 	}
-	d.updateSubscribersLocked()
+	d.notifySubscribersLocked(false)
 }
 
 // Compact folds journal entries below the current stable cut into base

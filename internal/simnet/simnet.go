@@ -306,32 +306,42 @@ var errLostInternal = errors.New("simnet: lost (internal)")
 
 func (n *Network) schedule(from, to string, units int64, deliver func(dst *Node)) error {
 	n.mu.Lock()
+	start, err := n.scheduleLocked(from, to, units, deliver)
+	n.mu.Unlock()
+	if start != nil {
+		go n.runLink(start)
+	}
+	return err
+}
+
+// scheduleLocked is the core of schedule, with n.mu held by the caller. When
+// the message activates an idle link, the link is returned (already marked
+// running and counted in n.wg) and the caller must arrange for runLink to be
+// invoked on it after releasing the lock — either on its own goroutine
+// (schedule) or on a shared drain worker (SendMulti).
+func (n *Network) scheduleLocked(from, to string, units int64, deliver func(dst *Node)) (*link, error) {
 	if n.closed {
-		n.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
-		n.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
 	cfg := n.defaults
 	if l := n.links[[2]string{from, to}]; l != nil {
 		cfg = l.cfg
 	}
 	if cfg.Down {
-		n.mu.Unlock()
-		return ErrUnreachable
+		return nil, ErrUnreachable
 	}
 	if cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
-		n.mu.Unlock()
 		n.sent.Add(1)
 		n.obsSent.Inc()
 		n.sentUnits.Add(units)
 		n.obsSentUnits.Add(units)
 		n.dropped.Add(1)
 		n.obsDropped.Inc()
-		return errLostInternal
+		return nil, errLostInternal
 	}
 	delay := cfg.Latency
 	if cfg.Jitter > 0 {
@@ -370,13 +380,13 @@ func (n *Network) schedule(from, to string, units int64, deliver func(dst *Node)
 		n.obsDeliveredUnits.Add(units)
 		deliver(dst)
 	}})
+	var start *link
 	if !l.running {
 		l.running = true
 		n.wg.Add(1)
-		go n.runLink(l)
+		start = l
 	}
-	n.mu.Unlock()
-	return nil
+	return start, nil
 }
 
 // runLink drains one link's queue in order, sleeping until each message's
@@ -414,6 +424,61 @@ func (nd *Node) Send(to string, msg any) error {
 		return nil
 	}
 	return err
+}
+
+// fanoutDrainWorkers bounds the goroutines SendMulti spawns to drain links
+// it activated; below this count each link gets its own drainer, exactly
+// like Send.
+const fanoutDrainWorkers = 8
+
+// SendMulti delivers msg to every named destination asynchronously, sharing
+// one scheduling pass (a single lock acquisition) and one payload value
+// across the whole fan-out — the substrate analogue of writing one encoded
+// frame to many sockets. Per-destination semantics match Send exactly: FIFO
+// per link, silent loss, down links and unknown nodes report errors. Idle
+// links activated by the fan-out are drained by a small bounded worker batch
+// instead of one goroutine each, so a 10⁵-subscriber push does not spawn 10⁵
+// goroutines; a slow link in a batch can delay its batch-mates' deliveries
+// past their deadline, which the substrate permits (latency is a lower
+// bound, never an upper one).
+//
+// The returned slice is nil when every destination was scheduled or lost;
+// otherwise it carries one entry per destination, nil for successes.
+func (nd *Node) SendMulti(to []string, msg any) []error {
+	n := nd.net
+	units := unitsOf(msg)
+	deliver := func(dst *Node) { dst.dispatch(nd.name, msg) }
+	var errs []error
+	var started []*link
+	n.mu.Lock()
+	for i, dstName := range to {
+		start, err := n.scheduleLocked(nd.name, dstName, units, deliver)
+		if start != nil {
+			started = append(started, start)
+		}
+		if err != nil && !errors.Is(err, errLostInternal) {
+			if errs == nil {
+				errs = make([]error, len(to))
+			}
+			errs[i] = err
+		}
+	}
+	n.mu.Unlock()
+	if len(started) <= fanoutDrainWorkers {
+		for _, l := range started {
+			go n.runLink(l)
+		}
+		return errs
+	}
+	for w := 0; w < fanoutDrainWorkers; w++ {
+		chunk := started[w*len(started)/fanoutDrainWorkers : (w+1)*len(started)/fanoutDrainWorkers]
+		go func(chunk []*link) {
+			for _, l := range chunk {
+				n.runLink(l)
+			}
+		}(chunk)
+	}
+	return errs
 }
 
 // Call sends msg to node to and waits for its handler's return value, a

@@ -81,6 +81,43 @@ func (t *Transaction) Restrict(keep func(Update) bool) *Transaction {
 	return cp
 }
 
+// RestrictShared returns a filtered view of the transaction that shares its
+// metadata (Dot, Snapshot, Commit) and update values with t instead of
+// deep-copying them. It exists for fan-out paths that build one filtered
+// record and hand it to many receivers who all treat it as read-only: when
+// keep selects every update t itself is returned (zero allocation), when it
+// selects none the result is nil, and otherwise only the filtered Updates
+// slice is fresh. Callers that go on to mutate the result — or whose
+// receivers do — must use Restrict instead.
+func (t *Transaction) RestrictShared(keep func(Update) bool) *Transaction {
+	n := 0
+	for _, u := range t.Updates {
+		if keep(u) {
+			n++
+		}
+	}
+	switch n {
+	case len(t.Updates):
+		return t
+	case 0:
+		return nil
+	}
+	cp := &Transaction{
+		Dot:      t.Dot,
+		Origin:   t.Origin,
+		Actor:    t.Actor,
+		Snapshot: t.Snapshot,
+		Commit:   t.Commit,
+		Updates:  make([]Update, 0, n),
+	}
+	for _, u := range t.Updates {
+		if keep(u) {
+			cp.Updates = append(cp.Updates, u)
+		}
+	}
+	return cp
+}
+
 // Symbolic reports whether no DC has assigned a concrete commit timestamp.
 func (t *Transaction) Symbolic() bool { return t.Commit.Symbolic() }
 

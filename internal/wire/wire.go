@@ -155,6 +155,29 @@ func (p PushTxs) Units() int {
 	return len(p.Txs)
 }
 
+// PushFrame is a sealed PushTxs: one frame built once and then shared,
+// unmodified, across every subscriber of an interest shard. Sealing is a
+// contract, not a mechanism — after SealPushFrame returns, neither the
+// sender nor any receiver may mutate the frame:
+//
+//   - Txs and every *Transaction in it (including Snapshot and Commit) are
+//     frozen; receivers that need mutable state must Clone the transaction
+//     (edge.ApplyPush already does).
+//   - Stable is frozen; receivers fold it with v.Join(frame.Stable), which
+//     never mutates its argument.
+//
+// The payoff is the fan-out cost model the DC push path relies on: one
+// filter pass and one frame per shard, O(1) allocations regardless of how
+// many subscribers share the shard.
+type PushFrame = PushTxs
+
+// SealPushFrame builds a PushFrame over an already-filtered transaction run
+// and a stable cut, clipping the slice capacity so no later append through a
+// retained reference can alias into the shared backing array.
+func SealPushFrame(from string, txs []*txn.Transaction, stable vclock.Vector) PushFrame {
+	return PushFrame{From: from, Txs: txs[:len(txs):len(txs)], Stable: stable}
+}
+
 // TxReader reads an object inside a transaction running at a DC.
 type TxReader func(id txn.ObjectID) (crdt.Object, error)
 
