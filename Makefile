@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout bench-net
 
 all: check
 
@@ -10,15 +10,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The crdt, store, dc, edge, obs, wal and simnet packages carry the
-# concurrency-heavy code (sealed snapshots shared across reader goroutines
-# with COW forks, sharded store locks, background base advancement, ClockSI
-# 2PC, lock-free edge stats, the event bus, the group-commit WAL writer, the
-# staged DC write pipeline — including the ≥8-committer convergence test —
-# the interest-sharded push fan-out and simnet's pooled multi-destination
-# scheduler); run them under the race detector on every check.
+# The crdt, store, dc, edge, obs, wal, simnet, transport and wire packages
+# carry the concurrency-heavy code (sealed snapshots shared across reader
+# goroutines with COW forks, sharded store locks, background base
+# advancement, ClockSI 2PC, lock-free edge stats, the event bus, the
+# group-commit WAL writer, the staged DC write pipeline — including the
+# ≥8-committer convergence test — the interest-sharded push fan-out,
+# simnet's pooled multi-destination scheduler, and the TCP mesh's refcounted
+# frame buffers, per-conn loops and pending-call table); run them under the
+# race detector on every check.
 test-race:
-	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet
+	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet ./internal/transport ./internal/transport/tcp ./internal/wire ./internal/bin
 
 vet:
 	$(GO) vet ./...
@@ -70,3 +72,10 @@ bench-fanout:
 # root; acceptance requires >=2x at 10k and 0 allocs/op on the cached read.
 bench-crdt:
 	$(GO) test -run TestRecordCRDTBench -count=1 -v ./internal/crdt -record-crdt
+
+# A/B of the transport substrate: replication throughput (commit burst to
+# cluster-wide convergence, 3 DCs) on simnet vs the real TCP mesh on
+# loopback with the binary wire codec. Records the comparison to
+# BENCH_net.json at the repo root.
+bench-net:
+	$(GO) test -run TestRecordNetBench -count=1 -v ./internal/transport/tcp -record-net

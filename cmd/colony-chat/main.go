@@ -57,7 +57,7 @@ func run(args []string) error {
 	}
 	defer cluster.Close()
 
-	parent := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop0", DC: cluster.DCName(0)})
+	parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{Name: "pop0", DC: cluster.DCName(0)})
 	defer parent.Close()
 	if err := parent.Connect(); err != nil {
 		return err

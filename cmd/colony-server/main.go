@@ -9,9 +9,18 @@
 // Prometheus-style text at /metrics, expvar JSON at /debug/vars.
 //
 //	colony-server -dcs 3 -k 2 -pops 2 -scale 0.1 -metrics :8080
+//
+// With -listen the server instead hosts ONE real DC on a TCP mesh
+// (internal/transport/tcp): each process is a data centre, -peers names the
+// others, and replication crosses real sockets through the binary wire
+// codec. A JSON state report is served at /status next to /metrics:
+//
+//	colony-server -listen 127.0.0.1:7000 -index 0 \
+//	    -peers dc1=127.0.0.1:7001,dc2=127.0.0.1:7002 -metrics :8080
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -19,11 +28,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"colony/internal/core"
+	"colony/internal/crdt"
+	"colony/internal/dc"
 	"colony/internal/group"
+	"colony/internal/obs"
+	"colony/internal/transport/tcp"
+	"colony/internal/txn"
 )
 
 func main() {
@@ -49,9 +66,24 @@ func run(args []string) error {
 		syncw   = fs.Bool("syncwrites", false, "commit acks wait for WAL durability (group-committed; needs -datadir)")
 		inline  = fs.Bool("inline", false, "disable the staged write pipeline (serial per-tx baseline)")
 		persub  = fs.Bool("persub", false, "per-subscriber push fan-out instead of interest shards (A/B baseline)")
+
+		listen   = fs.String("listen", "", "TCP mesh listen address; switches to multi-process mode (one real DC per process)")
+		peersF   = fs.String("peers", "", "comma-separated dcN=host:port pairs for the other DCs (mesh mode)")
+		index    = fs.Int("index", 0, "this DC's index in vector timestamps (mesh mode)")
+		workload = fs.Int("workload", 0, "commit this many counter increments after boot, for convergence checks (mesh mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listen != "" {
+		return runMesh(meshOptions{
+			listen: *listen, peers: *peersF, index: *index,
+			shards: *shards, k: *k, workload: *workload,
+			metrics: *metrics, every: *every, datadir: *datadir,
+			syncWrites: *syncw, inline: *inline, perSub: *persub,
+			autoAdvance: *adv,
+		})
 	}
 
 	cluster, err := core.NewCluster(core.ClusterConfig{
@@ -71,7 +103,7 @@ func run(args []string) error {
 
 	var parents []*group.Parent
 	for i := 0; i < *pops; i++ {
-		p := group.NewParent(cluster.Network(), group.ParentConfig{
+		p := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 			Name: fmt.Sprintf("pop%d", i),
 			DC:   cluster.DCName(i % *dcs),
 			Obs:  cluster.Obs(),
@@ -148,4 +180,174 @@ func run(args []string) error {
 			return nil
 		}
 	}
+}
+
+// meshOptions carries the -listen mode's flag values.
+type meshOptions struct {
+	listen      string
+	peers       string
+	index       int
+	shards      int
+	k           int
+	workload    int
+	metrics     string
+	every       time.Duration
+	datadir     string
+	syncWrites  bool
+	inline      bool
+	perSub      bool
+	autoAdvance int
+}
+
+// meshCounterID is the well-known object the -workload driver increments;
+// /status reports its value so an external observer (or the e2e test) can
+// assert cluster-wide convergence.
+var meshCounterID = txn.ObjectID{Bucket: "mesh", Key: "counter"}
+
+// runMesh hosts one real DC on a TCP mesh: the multi-process deployment mode.
+func runMesh(o meshOptions) error {
+	name := fmt.Sprintf("dc%d", o.index)
+	peers := map[int]string{o.index: name}
+	addrs := map[string]string{}
+	if o.peers != "" {
+		for _, pair := range strings.Split(o.peers, ",") {
+			nameAddr := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(nameAddr) != 2 {
+				return fmt.Errorf("bad -peers entry %q (want dcN=host:port)", pair)
+			}
+			var idx int
+			if _, err := fmt.Sscanf(nameAddr[0], "dc%d", &idx); err != nil {
+				return fmt.Errorf("bad peer name %q (want dcN): %w", nameAddr[0], err)
+			}
+			peers[idx] = nameAddr[0]
+			addrs[nameAddr[0]] = nameAddr[1]
+		}
+	}
+	// Indexes must form 0..n-1: vector timestamps are positional.
+	for i := 0; i < len(peers); i++ {
+		if _, ok := peers[i]; !ok {
+			return fmt.Errorf("peer set has a gap: no dc%d among %d DCs", i, len(peers))
+		}
+	}
+
+	reg := obs.New()
+	mesh, err := tcp.New(tcp.Config{
+		Name: name, Listen: o.listen, Peers: addrs, Obs: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer mesh.Close()
+
+	d, err := dc.New(mesh, dc.Config{
+		Index:  o.index,
+		Name:   name,
+		NumDCs: len(peers),
+		Shards: o.shards,
+		K:      o.k,
+		// Real time, real sockets: gossip briskly so convergence does not
+		// wait on traffic.
+		Heartbeat:            100 * time.Millisecond,
+		Obs:                  reg,
+		DataDir:              o.datadir,
+		SyncWrites:           o.syncWrites,
+		Inline:               o.inline,
+		PerSubscriberPush:    o.perSub,
+		AutoAdvanceThreshold: o.autoAdvance,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.SetPeers(peers)
+
+	var workloadDone atomic.Bool
+	if o.workload > 0 {
+		go func() {
+			for i := 0; i < o.workload; i++ {
+				tx := d.Begin(name)
+				tx.Update(meshCounterID, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+				if _, err := tx.Commit(); err != nil {
+					fmt.Fprintf(os.Stderr, "workload commit %d: %v\n", i, err)
+					return
+				}
+			}
+			workloadDone.Store(true)
+		}()
+	} else {
+		workloadDone.Store(true)
+	}
+
+	status := func() meshStatus {
+		st := meshStatus{
+			Name:         name,
+			Index:        o.index,
+			NumDCs:       len(peers),
+			State:        d.State(),
+			Stable:       d.Stable(),
+			LogLen:       d.LogLen(),
+			WorkloadDone: workloadDone.Load(),
+		}
+		if obj, err := d.ReadAt(meshCounterID, d.State()); err == nil {
+			st.Counter = obj.(*crdt.Counter).Total()
+		}
+		return st
+	}
+
+	if o.metrics != "" {
+		reg.PublishExpvar("colony")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(status())
+		})
+		ln, err := net.Listen("tcp", o.metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("metrics: http://%s/metrics (status at /status)\n", ln.Addr())
+	}
+
+	peerNames := make([]string, 0, len(addrs))
+	for n := range addrs {
+		peerNames = append(peerNames, n)
+	}
+	sort.Strings(peerNames)
+	fmt.Printf("colony-server: %s on TCP mesh %s (K=%d, %d shards), peers %v\n",
+		name, mesh.Addr(), o.k, o.shards, peerNames)
+	fmt.Println("press Ctrl-C to stop")
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(o.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := status()
+			snap := reg.Snapshot()
+			fmt.Printf("[%s] %s: state=%v stable=%v log=%d counter=%d | net: %d sent / %d delivered / %d dropped\n",
+				time.Now().Format("15:04:05"), name, st.State, st.Stable, st.LogLen, st.Counter,
+				snap.Counters["net.sent"], snap.Counters["net.delivered"], snap.Counters["net.dropped"])
+		case <-sigs:
+			fmt.Println("\nshutting down")
+			return nil
+		}
+	}
+}
+
+// meshStatus is the /status JSON document in mesh mode.
+type meshStatus struct {
+	Name         string   `json:"name"`
+	Index        int      `json:"index"`
+	NumDCs       int      `json:"num_dcs"`
+	State        []uint64 `json:"state"`
+	Stable       []uint64 `json:"stable"`
+	LogLen       int      `json:"log_len"`
+	Counter      int64    `json:"counter"`
+	WorkloadDone bool     `json:"workload_done"`
 }

@@ -31,7 +31,7 @@ func run() error {
 	}
 	defer cluster.Close()
 
-	parent := group.NewParent(cluster.Network(), group.ParentConfig{Name: "team-pop", DC: cluster.DCName(0)})
+	parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{Name: "team-pop", DC: cluster.DCName(0)})
 	defer parent.Close()
 	if err := parent.Connect(); err != nil {
 		return err

@@ -38,7 +38,7 @@ func run() error {
 	defer cluster.Close()
 
 	// A peer group at the edge: both editors sit behind the same PoP parent.
-	parent := group.NewParent(cluster.Network(), group.ParentConfig{
+	parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 		Name: "office-pop", DC: cluster.DCName(0),
 	})
 	defer parent.Close()

@@ -37,9 +37,9 @@ func run() error {
 	defer cluster.Close()
 
 	// Two "places" in the game world, each a peer group behind a PoP.
-	plaza := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop-plaza", DC: cluster.DCName(0)})
+	plaza := group.NewParent(cluster.Network().Transport(), group.ParentConfig{Name: "pop-plaza", DC: cluster.DCName(0)})
 	defer plaza.Close()
-	park := group.NewParent(cluster.Network(), group.ParentConfig{Name: "pop-park", DC: cluster.DCName(1)})
+	park := group.NewParent(cluster.Network().Transport(), group.ParentConfig{Name: "pop-park", DC: cluster.DCName(1)})
 	defer park.Close()
 	if err := plaza.Connect(); err != nil {
 		return err

@@ -107,7 +107,7 @@ func AblationCommitVariant(members, commits int, scale float64, seed int64) ([]C
 		if err != nil {
 			return out, err
 		}
-		parent := group.NewParent(cluster.Network(), group.ParentConfig{
+		parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 			Name: "pop0", DC: cluster.DCName(0), RetryInterval: scaled(10*time.Millisecond, scale),
 			Obs: cluster.Obs(),
 		})

@@ -299,7 +299,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	if cfg.Mode == ModeColony {
 		nGroups := (cfg.Clients + cfg.GroupSize - 1) / cfg.GroupSize
 		for g := 0; g < nGroups; g++ {
-			p := group.NewParent(cluster.Network(), group.ParentConfig{
+			p := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 				Name:          fmt.Sprintf("pop%d", g),
 				DC:            cluster.DCName(g % cfg.DCs),
 				RetryInterval: scaled(20*time.Millisecond, cfg.Scale),

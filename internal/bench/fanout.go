@@ -152,7 +152,7 @@ func RunFanout(cfg FanoutConfig, progress func(string)) (FanoutResult, error) {
 	net := simnet.New(simnet.Config{Seed: cfg.Seed})
 	defer net.Close()
 	reg := obs.New()
-	d, err := dc.New(net, dc.Config{
+	d, err := dc.New(net.Transport(), dc.Config{
 		Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1,
 		PerSubscriberPush: cfg.PerSubscriber,
 		Obs:               reg,

@@ -1,0 +1,165 @@
+// Package bin provides the primitive binary encoding shared by Colony's wire
+// codec (internal/wire) and CRDT state codec (internal/crdt): varint
+// integers, length-prefixed strings and byte blobs, and a sticky-error
+// reader that makes decoding truncated or corrupt input safe by
+// construction — a decode over malicious bytes can fail, but it can neither
+// panic nor over-allocate.
+//
+// All integers are encoding/binary varints: unsigned fields use uvarint,
+// signed fields use the zigzag varint. Strings and blobs are uvarint length
+// + raw bytes. Collection counts are validated against the bytes actually
+// remaining before any allocation (each element costs at least one byte on
+// the wire), so a corrupt count cannot force a huge allocation.
+package bin
+
+import "encoding/binary"
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendVarint appends v as a zigzag varint.
+func AppendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+// AppendString appends s as uvarint length + bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends p as uvarint length + bytes.
+func AppendBytes(b []byte, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendBool appends v as one byte (0 or 1).
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Reader consumes a byte slice with sticky-error semantics: the first
+// malformed or truncated field latches the error, every later read returns a
+// zero value, and the caller checks Err once at the end. Strings and byte
+// slices returned by the reader are fresh copies — decoded values never
+// alias the input buffer, so transports may recycle frame buffers as soon as
+// decoding returns.
+type Reader struct {
+	data []byte
+	off  int
+	fail bool
+}
+
+// NewReader returns a reader over data. The reader does not take ownership;
+// it copies out of data on String/Bytes.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err reports whether the reader has seen malformed or truncated input.
+func (r *Reader) Err() bool { return r.fail }
+
+// Poison latches the error state; decoders use it when a field parses at
+// this layer but fails higher-level validation (e.g. an embedded blob that
+// does not unmarshal).
+func (r *Reader) Poison() { r.fail = true }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Complete reports a clean full parse: no error and no trailing bytes.
+func (r *Reader) Complete() bool { return !r.fail && r.off == len(r.data) }
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.fail || r.off >= len(r.data) {
+		r.fail = true
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads one byte as a strict boolean (anything but 0/1 is corrupt, so
+// encodings stay canonical).
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if b > 1 {
+		r.fail = true
+		return false
+	}
+	return b == 1
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.fail {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zigzag varint.
+func (r *Reader) Varint() int64 {
+	if r.fail {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// String reads a length-prefixed string (copied out of the buffer).
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.fail || n > uint64(r.Remaining()) {
+		r.fail = true
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed blob as a fresh slice (nil for length 0).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.fail || n > uint64(r.Remaining()) {
+		r.fail = true
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.data[r.off:])
+	r.off += int(n)
+	return p
+}
+
+// Count reads a collection length and validates it against the remaining
+// input: each element occupies at least minBytes (≥1) on the wire, so a
+// count the buffer cannot possibly hold is corrupt. This bounds the
+// allocation any decoder performs for a collection before reading it.
+func (r *Reader) Count(minBytes int) int {
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	n := r.Uvarint()
+	if r.fail || n > uint64(r.Remaining()/minBytes) {
+		r.fail = true
+		return 0
+	}
+	return int(n)
+}

@@ -145,7 +145,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.DataDir != "" {
 			dataDir = filepath.Join(cfg.DataDir, peers[i])
 		}
-		d, err := dc.New(net, dc.Config{
+		d, err := dc.New(net.Transport(), dc.Config{
 			Index:       i,
 			Name:        peers[i],
 			NumDCs:      cfg.DCs,

@@ -86,7 +86,7 @@ func (c *Cluster) Connect(opts ConnectOptions) (*Connection, error) {
 		return nil, fmt.Errorf("core: no DC %d", opts.DC)
 	}
 	dcName := c.dcs[opts.DC].Name()
-	node := edge.New(c.net, edge.Config{
+	node := edge.New(c.net.Transport(), edge.Config{
 		Name:          opts.Name,
 		Actor:         opts.User,
 		DC:            dcName,

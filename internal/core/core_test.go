@@ -236,7 +236,7 @@ func TestLRUCacheLimit(t *testing.T) {
 
 func TestGroupLifecycleThroughAPI(t *testing.T) {
 	cluster := newCluster(t, 1)
-	parent := group.NewParent(cluster.Network(), group.ParentConfig{
+	parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 		Name: "pop1", DC: cluster.DCName(0), RetryInterval: 5 * time.Millisecond,
 	})
 	t.Cleanup(parent.Close)

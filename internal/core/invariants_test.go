@@ -277,7 +277,7 @@ func TestInvariantReadMyWritesAcrossMigration(t *testing.T) {
 // final value must agree everywhere even under concurrent assignments.
 func TestInvariantGroupTotalOrder(t *testing.T) {
 	cluster := newCluster(t, 1)
-	parent := group.NewParent(cluster.Network(), group.ParentConfig{
+	parent := group.NewParent(cluster.Network().Transport(), group.ParentConfig{
 		Name: "pop", DC: cluster.DCName(0), RetryInterval: 5 * time.Millisecond,
 	})
 	t.Cleanup(parent.Close)

@@ -8,7 +8,7 @@ import (
 
 	"colony/internal/crdt"
 	"colony/internal/edge"
-	"colony/internal/simnet"
+	"colony/internal/transport"
 	"colony/internal/txn"
 	"colony/internal/wire"
 )
@@ -561,7 +561,7 @@ func (r MapSeqRef) Read() ([]string, error) {
 // no local cache, every transaction pays the round trip to the cloud.
 type CloudSession struct {
 	cluster *Cluster
-	node    *simnet.Node
+	node    transport.Conn
 	dcName  string
 	user    string
 }

@@ -20,8 +20,8 @@ import (
 	"colony/internal/crdt"
 	"colony/internal/obs"
 	"colony/internal/replication"
-	"colony/internal/simnet"
 	"colony/internal/store"
+	"colony/internal/transport"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 	"colony/internal/wal"
@@ -170,7 +170,7 @@ type replOutbox struct {
 // DC is one data centre.
 type DC struct {
 	cfg   Config
-	node  *simnet.Node
+	node  transport.Conn
 	coord *clocksi.Coordinator
 	mesh  *replication.Mesh
 
@@ -233,7 +233,7 @@ type DC struct {
 // New creates a DC, registers it on the network, and starts its heartbeat
 // worker (if configured). Call SetPeers once all DCs exist, then Close when
 // done.
-func New(net *simnet.Network, cfg Config) (*DC, error) {
+func New(net transport.Network, cfg Config) (*DC, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
 	}

@@ -25,7 +25,7 @@ func cluster(t *testing.T, net *simnet.Network, n, k int) []*DC {
 		peers[i] = fmt.Sprintf("dc%d", i)
 	}
 	for i := 0; i < n; i++ {
-		d, err := New(net, Config{Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: k})
+		d, err := New(net.Transport(), Config{Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: k})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -460,7 +460,7 @@ func TestHeartbeatAdvancesStability(t *testing.T) {
 	peers := map[int]string{0: "dc0", 1: "dc1", 2: "dc2"}
 	dcs := make([]*DC, n)
 	for i := 0; i < n; i++ {
-		d, err := New(net, Config{
+		d, err := New(net.Transport(), Config{
 			Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: 2,
 			Heartbeat: 5 * time.Millisecond,
 		})
@@ -487,7 +487,7 @@ func TestAutoAdvanceBoundsShardJournals(t *testing.T) {
 	net := simnet.New(simnet.Config{})
 	defer net.Close()
 	const threshold = 8
-	d, err := New(net, Config{
+	d, err := New(net.Transport(), Config{
 		Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1,
 		AutoAdvanceThreshold: threshold,
 	})

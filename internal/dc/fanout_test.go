@@ -138,7 +138,7 @@ func singleDC(t *testing.T, net *simnet.Network, tweak func(*Config)) *DC {
 	if tweak != nil {
 		tweak(&cfg)
 	}
-	d, err := New(net, cfg)
+	d, err := New(net.Transport(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestFanoutNoGoroutineLeak(t *testing.T) {
 			base := runtime.NumGoroutine()
 			net := simnet.New(simnet.Config{})
 			defer net.Close()
-			d, err := New(net, Config{
+			d, err := New(net.Transport(), Config{
 				Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1,
 				PerSubscriberPush: mode.perSub,
 			})

@@ -22,7 +22,7 @@ func TestConvergenceUnderLossyMesh(t *testing.T) {
 	peers := map[int]string{0: "dc0", 1: "dc1", 2: "dc2"}
 	dcs := make([]*DC, n)
 	for i := 0; i < n; i++ {
-		d, err := New(net, Config{
+		d, err := New(net.Transport(), Config{
 			Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: 1,
 			Heartbeat: 5 * time.Millisecond,
 		})
@@ -94,7 +94,7 @@ func TestConvergenceAfterRollingPartitions(t *testing.T) {
 	peers := map[int]string{0: "dc0", 1: "dc1", 2: "dc2"}
 	dcs := make([]*DC, n)
 	for i := 0; i < n; i++ {
-		d, err := New(net, Config{
+		d, err := New(net.Transport(), Config{
 			Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: 1,
 			Heartbeat: 5 * time.Millisecond,
 		})
@@ -147,7 +147,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	defer net.Close()
 	cfg := Config{Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1, DataDir: dir}
 
-	d1, err := New(net, cfg)
+	d1, err := New(net.Transport(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 	d1.Close()
 	net.RemoveNode("dc0")
 
-	d2, err := New(net, cfg)
+	d2, err := New(net.Transport(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,7 @@ func benchCluster(b *testing.B, inline bool) []*DC {
 	}
 	dcs := make([]*DC, benchDCs)
 	for i := 0; i < benchDCs; i++ {
-		d, err := New(net, Config{
+		d, err := New(net.Transport(), Config{
 			Index: i, Name: peers[i], NumDCs: benchDCs, Shards: 2, K: 1,
 			DataDir:     b.TempDir(),
 			SyncWrites:  true,

@@ -33,7 +33,7 @@ func pipelineCluster(t *testing.T, net *simnet.Network, n, k int, tweak func(*Co
 		if tweak != nil {
 			tweak(&cfg)
 		}
-		d, err := New(net, cfg)
+		d, err := New(net.Transport(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func remoteTx(seq uint64, delta int64) *txn.Transaction {
 func TestReplBatchDuplicateAndPartialDelivery(t *testing.T) {
 	net := simnet.New(simnet.Config{})
 	defer net.Close()
-	d, err := New(net, Config{Index: 0, Name: "dc0", NumDCs: 2, Shards: 2, K: 1})
+	d, err := New(net.Transport(), Config{Index: 0, Name: "dc0", NumDCs: 2, Shards: 2, K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestWALErrorSurfacedInObs(t *testing.T) {
 	net := simnet.New(simnet.Config{})
 	defer net.Close()
 	reg := obs.New()
-	d, err := New(net, Config{Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1, Obs: reg})
+	d, err := New(net.Transport(), Config{Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestPipelinedRestartRecoversState(t *testing.T) {
 	defer net.Close()
 	dir := t.TempDir()
 	cfg := Config{Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1, DataDir: dir, SyncWrites: true}
-	d1, err := New(net, cfg)
+	d1, err := New(net.Transport(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestPipelinedRestartRecoversState(t *testing.T) {
 	d1.Close()
 	net.RemoveNode("dc0")
 
-	d2, err := New(net, cfg)
+	d2, err := New(net.Transport(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

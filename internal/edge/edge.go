@@ -15,8 +15,8 @@ import (
 
 	"colony/internal/crdt"
 	"colony/internal/obs"
-	"colony/internal/simnet"
 	"colony/internal/store"
+	"colony/internal/transport"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 	"colony/internal/wire"
@@ -168,13 +168,13 @@ const maxTracked = 4096
 // Node is one edge device.
 type Node struct {
 	cfg  Config
-	node *simnet.Node
+	node transport.Conn
 
-	mu        sync.Mutex
-	closed    bool
-	lamport   vclock.Lamport
-	st        *store.Store
-	state vclock.Vector // LUB of received stable cuts and acked local commits
+	mu      sync.Mutex
+	closed  bool
+	lamport vclock.Lamport
+	st      *store.Store
+	state   vclock.Vector // LUB of received stable cuts and acked local commits
 	// stateSnap is the epoch snapshot Begin hands to transactions: a clone
 	// of state taken lazily once per state change instead of once per
 	// transaction. It is shared (read-only) by every Tx begun in the epoch
@@ -215,7 +215,7 @@ type Node struct {
 
 // New creates an edge node and registers it on the network. Call Connect to
 // attach it to its DC, and Close when done.
-func New(net *simnet.Network, cfg Config) *Node {
+func New(net transport.Network, cfg Config) *Node {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
@@ -360,8 +360,8 @@ func (n *Node) UnackedCount() int {
 
 // SetHooks atomically replaces the node's entire hook set. Unset fields fall
 // back to the default behaviour; to clear every customisation pass the zero
-// Hooks. This is the single installation point the group layer uses — the
-// per-hook Set* methods below are deprecated shims over it.
+// Hooks. This is the single installation point
+// for hooks; the group layer installs its whole set in one call.
 func (n *Node) SetHooks(h Hooks) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -374,79 +374,6 @@ func (n *Node) Hooks() Hooks {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.hooks
-}
-
-// SetCommitHook redirects locally committed transactions (peer-group mode).
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetCommitHook(h CommitHook) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Commit = h
-}
-
-// SetFetcher overrides cache-miss resolution (peer-group collaborative
-// cache).
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetFetcher(f Fetcher) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Fetch = f
-}
-
-// SetExtraHandler installs a handler for messages the edge layer does not
-// understand (peer-group and consensus traffic addressed to this node).
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetExtraHandler(h func(from string, msg any) any) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Extra = h
-}
-
-// SetPushHook installs a callback invoked after every integrated push batch;
-// a group parent uses it to forward stable updates to its members.
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetPushHook(h func(wire.PushTxs)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Push = h
-}
-
-// SetAckHook installs a callback invoked after every DC commit ack; a group
-// parent (sync point) uses it to distribute concrete commit descriptors to
-// the members.
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetAckHook(h func(wire.EdgeCommitAck)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Ack = h
-}
-
-// SetReadFilter installs a read-time masking predicate: transactions for
-// which mask returns true are hidden from this node's reads — the edge's
-// local ACL check (paper §6.4). Pass nil to clear.
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetReadFilter(mask func(*txn.Transaction) bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.ReadFilter = mask
-}
-
-// SetVisibility installs the group visibility log: reads treat the returned
-// dots as visible in addition to the snapshot cut (paper §5.1.4). The
-// returned map must be treated as immutable (copy-on-write on the group
-// side).
-//
-// Deprecated: use SetHooks.
-func (n *Node) SetVisibility(fn func() map[vclock.Dot]bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.hooks.Visibility = fn
 }
 
 // EnqueueForDC queues an externally managed transaction (a group-visible

@@ -31,7 +31,7 @@ func newRig(t *testing.T, nDCs, k int) *rig {
 	}
 	dcs := make([]*dc.DC, nDCs)
 	for i := 0; i < nDCs; i++ {
-		d, err := dc.New(net, dc.Config{
+		d, err := dc.New(net.Transport(), dc.Config{
 			Index: i, Name: peers[i], NumDCs: nDCs, Shards: 2, K: k,
 			Heartbeat: 5 * time.Millisecond,
 		})
@@ -47,7 +47,7 @@ func newRig(t *testing.T, nDCs, k int) *rig {
 
 func (r *rig) edge(t *testing.T, name, dcName string) *Node {
 	t.Helper()
-	n := New(r.net, Config{Name: name, Actor: name, DC: dcName, RetryInterval: 5 * time.Millisecond})
+	n := New(r.net.Transport(), Config{Name: name, Actor: name, DC: dcName, RetryInterval: 5 * time.Millisecond})
 	t.Cleanup(n.Close)
 	if err := n.Connect(); err != nil {
 		t.Fatal(err)

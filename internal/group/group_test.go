@@ -33,7 +33,7 @@ func newRig(t *testing.T, nDCs, k, nMembers int, variant CommitVariant) *rig {
 	}
 	r := &rig{net: net}
 	for i := 0; i < nDCs; i++ {
-		d, err := dc.New(net, dc.Config{
+		d, err := dc.New(net.Transport(), dc.Config{
 			Index: i, Name: peers[i], NumDCs: nDCs, Shards: 2, K: k,
 			Heartbeat: 5 * time.Millisecond,
 		})
@@ -44,14 +44,14 @@ func newRig(t *testing.T, nDCs, k, nMembers int, variant CommitVariant) *rig {
 		t.Cleanup(d.Close)
 		r.dcs = append(r.dcs, d)
 	}
-	r.parent = NewParent(net, ParentConfig{Name: "parent", DC: "dc0", RetryInterval: 5 * time.Millisecond})
+	r.parent = NewParent(net.Transport(), ParentConfig{Name: "parent", DC: "dc0", RetryInterval: 5 * time.Millisecond})
 	t.Cleanup(r.parent.Close)
 	if err := r.parent.Connect(); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < nMembers; i++ {
 		name := fmt.Sprintf("peer%d", i)
-		n := edge.New(net, edge.Config{
+		n := edge.New(net.Transport(), edge.Config{
 			Name: name, Actor: name, DC: "parent", RetryInterval: 5 * time.Millisecond,
 		})
 		t.Cleanup(n.Close)
@@ -108,7 +108,7 @@ func TestJoinAndMembership(t *testing.T) {
 	// Membership events reach members on change.
 	evs := make(chan []string, 4)
 	r.members[0].OnMembershipChange(func(ms []string) { evs <- ms })
-	n := edge.New(r.net, edge.Config{Name: "late", Actor: "late", DC: "parent"})
+	n := edge.New(r.net.Transport(), edge.Config{Name: "late", Actor: "late", DC: "parent"})
 	t.Cleanup(n.Close)
 	m, err := Join(n, MemberConfig{Parent: "parent"})
 	if err != nil {
@@ -239,7 +239,7 @@ func TestRemoteUpdatesForwardedToMembers(t *testing.T) {
 		}
 	}
 	// A plain edge client on another DC updates x.
-	remote := edge.New(r.net, edge.Config{Name: "remote", Actor: "remote", DC: "dc1", RetryInterval: 5 * time.Millisecond})
+	remote := edge.New(r.net.Transport(), edge.Config{Name: "remote", Actor: "remote", DC: "dc1", RetryInterval: 5 * time.Millisecond})
 	t.Cleanup(remote.Close)
 	if err := remote.Connect(); err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestVisibilityOrderAgreesAcrossMembers(t *testing.T) {
 
 func TestMigrationBetweenGroups(t *testing.T) {
 	r := newRig(t, 1, 1, 2, VariantAsync)
-	parent2 := NewParent(r.net, ParentConfig{Name: "parent2", DC: "dc0", RetryInterval: 5 * time.Millisecond})
+	parent2 := NewParent(r.net.Transport(), ParentConfig{Name: "parent2", DC: "dc0", RetryInterval: 5 * time.Millisecond})
 	t.Cleanup(parent2.Close)
 	if err := parent2.Connect(); err != nil {
 		t.Fatal(err)

@@ -8,8 +8,8 @@ import (
 	"colony/internal/edge"
 	"colony/internal/epaxos"
 	"colony/internal/obs"
-	"colony/internal/simnet"
 	"colony/internal/store"
+	"colony/internal/transport"
 	"colony/internal/txn"
 	"colony/internal/vclock"
 	"colony/internal/wire"
@@ -62,7 +62,7 @@ type Parent struct {
 
 // NewParent creates a group parent on net, attaches its DC-facing edge node,
 // and starts its maintenance loop. Call Connect once, then Close when done.
-func NewParent(netw *simnet.Network, cfg ParentConfig) *Parent {
+func NewParent(netw transport.Network, cfg ParentConfig) *Parent {
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 25 * time.Millisecond
 	}

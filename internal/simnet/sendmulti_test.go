@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colony/internal/transport"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// TestSendMultiMatchesSendPerDestination pins the partial-failure contract:
+// errs[i] must be exactly what Send(to[i], msg) returns for the same network
+// state — nil for deliverable destinations, ErrUnreachable for down links,
+// ErrUnknownNode for unregistered names — and a failing destination must not
+// affect delivery to the others.
+func TestSendMultiMatchesSendPerDestination(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	var got atomic.Int64
+	count := func(from string, msg any) any { got.Add(1); return nil }
+	src := net.AddNode("src", nil)
+	net.AddNode("ok1", count)
+	net.AddNode("ok2", count)
+	net.AddNode("down", count)
+	net.Partition("src", "down")
+
+	dests := []string{"ok1", "down", "ghost", "ok2"}
+	errs := src.SendMulti(dests, "hello")
+	if len(errs) != len(dests) {
+		t.Fatalf("errs = %v, want one entry per destination", errs)
+	}
+	// Every entry agrees with a solo Send to the same destination.
+	for i, dst := range dests {
+		want := src.Send(dst, "solo")
+		if (errs[i] == nil) != (want == nil) {
+			t.Errorf("dest %q: SendMulti err %v, Send err %v", dst, errs[i], want)
+		}
+	}
+	if !errors.Is(errs[1], ErrUnreachable) {
+		t.Errorf("down link: got %v, want ErrUnreachable", errs[1])
+	}
+	if !errors.Is(errs[2], ErrUnknownNode) {
+		t.Errorf("unknown node: got %v, want ErrUnknownNode", errs[2])
+	}
+	if errs[0] != nil || errs[3] != nil {
+		t.Errorf("healthy destinations reported errors: %v", errs)
+	}
+	// The two healthy destinations each got the fan-out msg and the solo one.
+	waitFor(t, func() bool { return got.Load() == 4 })
+}
+
+// TestSendMultiAllAcceptedReturnsNil pins the fast path: no failures → nil
+// slice (callers must treat nil and all-nil identically, so the substrate is
+// free to skip the allocation).
+func TestSendMultiAllAcceptedReturnsNil(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	var got atomic.Int64
+	src := net.AddNode("src", nil)
+	net.AddNode("a", func(string, any) any { got.Add(1); return nil })
+	net.AddNode("b", func(string, any) any { got.Add(1); return nil })
+
+	if errs := src.SendMulti([]string{"a", "b"}, 1); errs != nil {
+		t.Fatalf("all-accepted fan-out returned %v, want nil", errs)
+	}
+	waitFor(t, func() bool { return got.Load() == 2 })
+}
+
+// TestSendMultiLossIsSilent pins loss semantics: like Send, a message lost
+// in flight is NOT a per-destination error — a fully lossy fan-out returns a
+// nil slice and the drops are visible only in the loss counters.
+func TestSendMultiLossIsSilent(t *testing.T) {
+	net := New(Config{Default: LinkConfig{Loss: 1.0}, Seed: 42})
+	defer net.Close()
+
+	src := net.AddNode("src", nil)
+	net.AddNode("a", func(string, any) any { return nil })
+	net.AddNode("b", func(string, any) any { return nil })
+
+	if errs := src.SendMulti([]string{"a", "b"}, "doomed"); errs != nil {
+		t.Fatalf("lossy fan-out returned %v, want nil (silent loss)", errs)
+	}
+	if err := src.Send("a", "doomed"); err != nil {
+		t.Fatalf("lossy Send returned %v, want nil (silent loss)", err)
+	}
+	if d := net.Dropped(); d != 3 {
+		t.Fatalf("dropped = %d, want 3", d)
+	}
+}
+
+// TestSendMultiClosedNetwork pins shutdown semantics: every destination
+// reports ErrClosed, exactly like Send.
+func TestSendMultiClosedNetwork(t *testing.T) {
+	net := New(Config{})
+	src := net.AddNode("src", nil)
+	net.AddNode("a", func(string, any) any { return nil })
+	net.Close()
+
+	errs := src.SendMulti([]string{"a", "a"}, "late")
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want 2 entries", errs)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("errs[%d] = %v, want ErrClosed", i, err)
+		}
+	}
+	if err := src.Send("a", "late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestTransportAdapter exercises the transport.Network seam over simnet:
+// handlers, Send, Call and SendMulti must behave identically through the
+// adapter.
+func TestTransportAdapter(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+	var tn transport.Network = net.Transport()
+
+	echo := tn.AddNode("echo", func(from string, msg any) any { return msg })
+	src := tn.AddNode("src", nil)
+	if echo.Name() != "echo" || src.Name() != "src" {
+		t.Fatalf("names: %q %q", echo.Name(), src.Name())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := src.Call(ctx, "echo", "ping")
+	if err != nil || got != "ping" {
+		t.Fatalf("Call = %v, %v", got, err)
+	}
+	if err := src.Send("echo", "fire-and-forget"); err != nil {
+		t.Fatalf("Send = %v", err)
+	}
+	if errs := src.SendMulti([]string{"echo"}, "multi"); errs != nil {
+		t.Fatalf("SendMulti = %v", errs)
+	}
+	tn.RemoveNode("echo")
+	if err := src.Send("echo", "gone"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Send after RemoveNode = %v, want ErrUnknownNode", err)
+	}
+}

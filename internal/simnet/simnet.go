@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"colony/internal/obs"
+	"colony/internal/transport"
 )
 
 // Errors returned by the network.
@@ -36,17 +37,20 @@ var (
 // later deliveries to the same node only if they share a link.
 type Handler func(from string, msg any) any
 
-// Batch is implemented by messages that stand for several logical messages
-// coalesced into one network frame (replication and push batches). The
-// network counts net.sent/delivered per frame and net.sent_units /
-// net.delivered_units per constituent unit, so experiments can report both
-// frame savings and logical throughput.
+// Batch is the structural subset of wire.Message the substrate cares about:
+// the logical message count of a payload. Every wire message implements it
+// (wire.Message embeds Units alongside the codec tag), so batch accounting
+// needs no per-type knowledge here. The network counts net.sent/delivered
+// per frame and net.sent_units / net.delivered_units per constituent unit,
+// so experiments can report both frame savings and logical throughput.
 type Batch interface {
 	Units() int
 }
 
-// unitsOf returns the logical message count of a payload (1 for plain
-// messages).
+// unitsOf returns the logical message count of a payload: Units() for wire
+// messages, clamped to at least 1 (a pure control frame still crosses the
+// network once), and 1 for payloads outside the wire protocol (test
+// payloads, internal Call envelopes).
 func unitsOf(msg any) int64 {
 	if b, ok := msg.(Batch); ok {
 		if n := b.Units(); n > 1 {
@@ -202,6 +206,30 @@ func (n *Network) RemoveNode(name string) {
 	defer n.mu.Unlock()
 	delete(n.nodes, name)
 }
+
+// Transport adapts the network to the pluggable transport seam: dc.New,
+// edge.New and group.NewParent take a transport.Network, and tests hand them
+// net.Transport() to keep running on the deterministic simulator. The
+// adapter is stateless; call it as often as convenient.
+func (n *Network) Transport() transport.Network { return simTransport{n} }
+
+// simTransport lifts *Network to transport.Network. *Node satisfies
+// transport.Conn directly (same method set); only AddNode needs the wrapper,
+// because Go interface satisfaction cannot see through the concrete return
+// type.
+type simTransport struct{ n *Network }
+
+func (s simTransport) AddNode(name string, h transport.Handler) transport.Conn {
+	return s.n.AddNode(name, Handler(h))
+}
+
+func (s simTransport) RemoveNode(name string) { s.n.RemoveNode(name) }
+
+// Compile-time checks: the simulator satisfies the transport seam.
+var (
+	_ transport.Conn    = (*Node)(nil)
+	_ transport.Network = simTransport{}
+)
 
 // SetLink overrides the configuration of the directed link from → to.
 func (n *Network) SetLink(from, to string, cfg LinkConfig) {
@@ -434,16 +462,25 @@ const fanoutDrainWorkers = 8
 // SendMulti delivers msg to every named destination asynchronously, sharing
 // one scheduling pass (a single lock acquisition) and one payload value
 // across the whole fan-out — the substrate analogue of writing one encoded
-// frame to many sockets. Per-destination semantics match Send exactly: FIFO
-// per link, silent loss, down links and unknown nodes report errors. Idle
-// links activated by the fan-out are drained by a small bounded worker batch
-// instead of one goroutine each, so a 10⁵-subscriber push does not spawn 10⁵
-// goroutines; a slow link in a batch can delay its batch-mates' deliveries
-// past their deadline, which the substrate permits (latency is a lower
-// bound, never an upper one).
+// frame to many sockets. Idle links activated by the fan-out are drained by
+// a small bounded worker batch instead of one goroutine each, so a
+// 10⁵-subscriber push does not spawn 10⁵ goroutines; a slow link in a batch
+// can delay its batch-mates' deliveries past their deadline, which the
+// substrate permits (latency is a lower bound, never an upper one).
 //
-// The returned slice is nil when every destination was scheduled or lost;
-// otherwise it carries one entry per destination, nil for successes.
+// Partial-failure contract (the DC fan-out's repair path relies on this;
+// see transport.Conn):
+//
+//   - errs[i] is exactly what Send(to[i], msg) would have returned at the
+//     same instant: nil when the message was scheduled OR silently lost in
+//     flight, non-nil only for local refusal (unknown node, down link,
+//     closed network). Loss rolls are drawn independently per destination.
+//   - Failure of one destination never affects another: every refusable
+//     destination is refused, every deliverable one is scheduled. There is
+//     no all-or-nothing mode.
+//   - The returned slice is nil when every destination was accepted;
+//     otherwise it has exactly len(to) entries with nil for successes.
+//     Callers must treat a nil slice and a slice of nils identically.
 func (nd *Node) SendMulti(to []string, msg any) []error {
 	n := nd.net
 	units := unitsOf(msg)

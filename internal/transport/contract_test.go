@@ -1,0 +1,158 @@
+package transport_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"colony/internal/simnet"
+	"colony/internal/transport"
+	"colony/internal/transport/tcp"
+	"colony/internal/vclock"
+	"colony/internal/wire"
+)
+
+// TestConnContract runs one behavioural suite over every transport
+// implementation: the delivery, reply, fan-out and error semantics the dc,
+// edge and group layers rely on must hold whether messages cross a simulated
+// link or a real socket. Messages are wire types so the same suite is valid
+// on the encoding substrate.
+func TestConnContract(t *testing.T) {
+	t.Run("simnet", func(t *testing.T) {
+		net := simnet.New(simnet.Config{})
+		t.Cleanup(func() { net.Close() })
+		tr := net.Transport()
+		runConnContract(t, tr, tr)
+	})
+	t.Run("tcp-loopback", func(t *testing.T) {
+		m, err := tcp.New(tcp.Config{Name: "proc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		runConnContract(t, m, m)
+	})
+	t.Run("tcp-remote", func(t *testing.T) {
+		ma, err := tcp.New(tcp.Config{Name: "procA", Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ma.Close() })
+		mb, err := tcp.New(tcp.Config{Name: "procB", Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mb.Close() })
+		ma.SetPeer("b", mb.Addr())
+		ma.SetPeer("b2", mb.Addr())
+		runConnContract(t, ma, mb)
+	})
+}
+
+// runConnContract registers sender "a" on netA and receivers "b"/"b2" on
+// netB, then checks the transport.Conn contract.
+func runConnContract(t *testing.T, netA, netB transport.Network) {
+	type rec struct {
+		from string
+		msg  any
+	}
+	var mu sync.Mutex
+	var got []rec
+	handler := func(from string, msg any) any {
+		mu.Lock()
+		got = append(got, rec{from, msg})
+		mu.Unlock()
+		if hb, ok := msg.(wire.ReplHeartbeat); ok {
+			return wire.EdgeCommitAck{DCIndex: hb.From}
+		}
+		return nil
+	}
+	netB.AddNode("b", handler)
+	netB.AddNode("b2", handler)
+	a := netA.AddNode("a", nil)
+	received := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got)
+	}
+	waitCount := func(n int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if received() >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (%d/%d)", what, received(), n)
+	}
+
+	if a.Name() != "a" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+
+	// Send: accepted, delivered intact, correct sender attribution.
+	hb := wire.ReplHeartbeat{From: 7, State: vclock.Vector{1, 0, 3}}
+	if err := a.Send("b", hb); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	waitCount(1, "first delivery")
+	mu.Lock()
+	first := got[0]
+	mu.Unlock()
+	if first.from != "a" || !reflect.DeepEqual(first.msg, hb) {
+		t.Fatalf("delivered (%q, %#v), want (a, %#v)", first.from, first.msg, hb)
+	}
+
+	// FIFO per sender: 100 sends arrive in order.
+	base := received()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", wire.ReplHeartbeat{From: 1000 + i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitCount(base+n, "FIFO burst")
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		if seq := got[base+i].msg.(wire.ReplHeartbeat).From; seq != 1000+i {
+			mu.Unlock()
+			t.Fatalf("position %d carries seq %d: FIFO violated", i, seq)
+		}
+	}
+	mu.Unlock()
+
+	// Call: the handler's return value answers the call.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	reply, err := a.Call(ctx, "b", wire.ReplHeartbeat{From: 55})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if ack, ok := reply.(wire.EdgeCommitAck); !ok || ack.DCIndex != 55 {
+		t.Fatalf("reply %#v, want EdgeCommitAck{DCIndex: 55}", reply)
+	}
+
+	// SendMulti, all destinations good: nil slice, both delivered.
+	base = received()
+	if errs := a.SendMulti([]string{"b", "b2"}, hb); errs != nil {
+		t.Fatalf("all-ok SendMulti: %v, want nil", errs)
+	}
+	waitCount(base+2, "fan-out delivery")
+
+	// SendMulti with an unknown destination: per-index errors, the good
+	// destination still delivered.
+	base = received()
+	errs := a.SendMulti([]string{"ghost", "b"}, hb)
+	if len(errs) != 2 || errs[0] == nil || errs[1] != nil {
+		t.Fatalf("partial SendMulti errs = %v, want [non-nil nil]", errs)
+	}
+	waitCount(base+1, "partial fan-out delivery")
+
+	// Send to an unknown destination: local refusal.
+	if err := a.Send("ghost", hb); err == nil {
+		t.Fatal("send to unknown destination accepted")
+	}
+}

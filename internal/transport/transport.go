@@ -1,0 +1,98 @@
+// Package transport is the pluggable network seam between Colony's layers
+// (dc, edge, group, core) and the substrate that actually moves messages.
+// Two implementations satisfy it:
+//
+//   - simnet (internal/simnet): the deterministic in-process simulator every
+//     test runs on — latency/jitter/loss models, partitions, fault injection.
+//     Obtain it via (*simnet.Network).Transport().
+//   - tcp (internal/transport/tcp): a real mesh over TCP sockets with a
+//     length-prefixed binary codec (internal/wire), used by colony-server's
+//     -listen/-peers mode to form a multi-process deployment.
+//
+// The seam is deliberately the exact method set the layers already relied on
+// when they held *simnet.Node directly; the paper's deployment swaps RabbitMQ
+// (DC mesh) and WebRTC (peer groups) behind the same kind of boundary (§6.2).
+//
+// # Delivery contract
+//
+// Implementations must provide, per (sender, destination) pair, FIFO delivery
+// of the messages that do arrive. Loss is silent: a Send whose message is
+// dropped in flight still returns nil — only *local* refusal (unknown
+// destination, closed transport, a full outbound queue) is reported as an
+// error. Handlers for one sender run serially in send order; the returned
+// value, if non-nil, answers a pending Call.
+//
+// # Backpressure and close
+//
+// Send and SendMulti never block on the destination: an implementation with
+// bounded per-peer queues fails fast with ErrBackpressure when a queue is
+// full, and the caller is expected to fall back to its repair path
+// (anti-entropy between DCs, resume-subscribe at the edge) rather than
+// retry in a loop. Call blocks until a reply, ctx expiry, or transport
+// close. After Close, every operation fails.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// Handler processes one inbound message from the named sender. A non-nil
+// return value is sent back as the reply if the message arrived as a Call;
+// for plain Sends it is discarded. Handlers for one sender are invoked
+// serially in send order (FIFO per link); handlers for different senders may
+// run concurrently, so shared state needs the node's own locking.
+type Handler func(from string, msg any) any
+
+// Conn is one node's endpoint on a transport: the handle dc, edge and group
+// layers hold to reach their peers. *simnet.Node satisfies it directly.
+type Conn interface {
+	// Name returns the node name other endpoints address this one by.
+	Name() string
+
+	// Send delivers msg to the named destination asynchronously. nil means
+	// the message was accepted (scheduled or silently lost in flight); a
+	// non-nil error means local refusal — the destination is unknown, the
+	// transport is closed or partitioned, or the peer's outbound queue is
+	// full (ErrBackpressure).
+	Send(to string, msg any) error
+
+	// SendMulti delivers one message to many destinations, amortising
+	// per-send overhead (one encode, one queue pass). The returned slice is
+	// nil when every destination was accepted; otherwise it has exactly
+	// len(to) entries where errs[i] is precisely what Send(to[i], msg)
+	// would have returned — a partial failure still delivers to every
+	// destination with a nil entry.
+	SendMulti(to []string, msg any) []error
+
+	// Call sends msg and blocks until the destination's handler returns a
+	// reply, ctx expires, or the transport closes.
+	Call(ctx context.Context, to string, msg any) (any, error)
+}
+
+// Network registers local endpoints on a transport. dc.New, edge.New and
+// group.NewParent take one of these; tests pass simnet's adapter, deployment
+// passes the TCP mesh.
+type Network interface {
+	// AddNode registers a named endpoint with its inbound handler. A nil
+	// handler accepts no inbound traffic (send/call-only endpoints, e.g.
+	// cloud client sessions). Registering a name twice replaces the
+	// previous endpoint.
+	AddNode(name string, h Handler) Conn
+
+	// RemoveNode unregisters the endpoint; subsequent sends to the name
+	// fail at the sender.
+	RemoveNode(name string)
+}
+
+// ErrBackpressure is returned by Send/SendMulti when the destination's
+// bounded outbound queue is full. It reports local refusal, not loss in
+// flight: the message was never queued, and the caller should fall back to
+// its repair path instead of spinning.
+var ErrBackpressure = errors.New("transport: peer outbound queue full")
+
+// ErrNotEncodable is returned by transports that cross process boundaries
+// (tcp) when asked to carry a message outside the binary wire protocol —
+// e.g. wire.MigratedTx, whose closure stands in for the paper's mobile code
+// and can only travel in-process. simnet never returns it.
+var ErrNotEncodable = errors.New("transport: message has no wire encoding")

@@ -1,0 +1,130 @@
+package wire
+
+// Tag is a message type's stable wire identifier: the first byte of every
+// encoded message, and the codec's dispatch key. Tags are append-only
+// protocol constants — never renumber or reuse one, or mixed-version meshes
+// misparse each other. Tag 0 (TagNone) is reserved for "no message", which
+// call replies use when a handler returns nil.
+type Tag uint8
+
+// The wire protocol's message tags.
+const (
+	TagNone           Tag = 0
+	TagReplTx         Tag = 1
+	TagReplBatch      Tag = 2
+	TagReplHeartbeat  Tag = 3
+	TagEdgeCommit     Tag = 4
+	TagEdgeCommitAck  Tag = 5
+	TagEdgeCommitNack Tag = 6
+	TagSubscribe      Tag = 7
+	TagSubscribeAck   Tag = 8
+	TagUnsubscribe    Tag = 9
+	TagObjectState    Tag = 10
+	TagFetchObject    Tag = 11
+	TagPushTxs        Tag = 12
+	TagMigratedTx     Tag = 13
+	TagMigratedTxAck  Tag = 14
+)
+
+// Message unifies every wire message: a stable codec tag plus the logical
+// message count the network substrate uses for batch-delivery accounting
+// (simnet's net.sent_units / net.delivered_units). Coalesced batches return
+// their constituent count from Units; everything else returns 1.
+//
+// The interface is the codec's dispatch table (Tag selects the per-type
+// encoder/decoder) and replaces per-type knowledge in the substrates: simnet
+// sees only Units, tcp sees only Tag.
+type Message interface {
+	Tag() Tag
+	Units() int
+}
+
+// Compile-time check: every wire message satisfies Message.
+var _ = []Message{
+	ReplTx{}, ReplBatch{}, ReplHeartbeat{},
+	EdgeCommit{}, EdgeCommitAck{}, EdgeCommitNack{},
+	Subscribe{}, SubscribeAck{}, Unsubscribe{},
+	ObjectState{}, FetchObject{}, PushTxs{},
+	MigratedTx{}, MigratedTxAck{},
+}
+
+// Tag implements Message.
+func (ReplTx) Tag() Tag { return TagReplTx }
+
+// Units implements Message.
+func (ReplTx) Units() int { return 1 }
+
+// Tag implements Message.
+func (ReplBatch) Tag() Tag { return TagReplBatch }
+
+// Tag implements Message.
+func (ReplHeartbeat) Tag() Tag { return TagReplHeartbeat }
+
+// Units implements Message.
+func (ReplHeartbeat) Units() int { return 1 }
+
+// Tag implements Message.
+func (EdgeCommit) Tag() Tag { return TagEdgeCommit }
+
+// Units implements Message.
+func (EdgeCommit) Units() int { return 1 }
+
+// Tag implements Message.
+func (EdgeCommitAck) Tag() Tag { return TagEdgeCommitAck }
+
+// Units implements Message.
+func (EdgeCommitAck) Units() int { return 1 }
+
+// Tag implements Message.
+func (EdgeCommitNack) Tag() Tag { return TagEdgeCommitNack }
+
+// Units implements Message.
+func (EdgeCommitNack) Units() int { return 1 }
+
+// Tag implements Message.
+func (Subscribe) Tag() Tag { return TagSubscribe }
+
+// Units implements Message.
+func (Subscribe) Units() int { return 1 }
+
+// Tag implements Message.
+func (SubscribeAck) Tag() Tag { return TagSubscribeAck }
+
+// Units implements Message.
+func (SubscribeAck) Units() int { return 1 }
+
+// Tag implements Message.
+func (Unsubscribe) Tag() Tag { return TagUnsubscribe }
+
+// Units implements Message.
+func (Unsubscribe) Units() int { return 1 }
+
+// Tag implements Message.
+func (ObjectState) Tag() Tag { return TagObjectState }
+
+// Units implements Message.
+func (ObjectState) Units() int { return 1 }
+
+// Tag implements Message.
+func (FetchObject) Tag() Tag { return TagFetchObject }
+
+// Units implements Message.
+func (FetchObject) Units() int { return 1 }
+
+// Tag implements Message.
+func (PushTxs) Tag() Tag { return TagPushTxs }
+
+// Tag implements Message. MigratedTx is in the tag space (the protocol
+// reserves its slot) but has no binary encoding: its closure stands in for
+// the paper's mobile code and travels only in-process (see the codec's
+// ErrNotEncodable).
+func (MigratedTx) Tag() Tag { return TagMigratedTx }
+
+// Units implements Message.
+func (MigratedTx) Units() int { return 1 }
+
+// Tag implements Message.
+func (MigratedTxAck) Tag() Tag { return TagMigratedTxAck }
+
+// Units implements Message.
+func (MigratedTxAck) Units() int { return 1 }
