@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout bench-net
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout bench-net bench-tree
 
 all: check
 
@@ -10,17 +10,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The crdt, store, dc, edge, obs, wal, simnet, transport and wire packages
-# carry the concurrency-heavy code (sealed snapshots shared across reader
-# goroutines with COW forks, sharded store locks, background base
-# advancement, ClockSI 2PC, lock-free edge stats, the event bus, the
+# The crdt, store, dc, edge, obs, wal, simnet, transport, wire, group and
+# epaxos packages carry the concurrency-heavy code (sealed snapshots shared
+# across reader goroutines with COW forks, sharded store locks, background
+# base advancement, ClockSI 2PC, lock-free edge stats, the event bus, the
 # group-commit WAL writer, the staged DC write pipeline — including the
-# ≥8-committer convergence test — the interest-sharded push fan-out,
-# simnet's pooled multi-destination scheduler, and the TCP mesh's refcounted
-# frame buffers, per-conn loops and pending-call table); run them under the
-# race detector on every check.
+# ≥8-committer convergence test — the interest-sharded push fan-out with its
+# multicast trees (relay crash/repair tests), simnet's pooled
+# multi-destination scheduler, the TCP mesh's refcounted frame buffers,
+# corked per-conn loops and pending-call table, and the peer-group /
+# EPaxos-style quorum machinery); run them under the race detector on every
+# check.
 test-race:
-	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet ./internal/transport ./internal/transport/tcp ./internal/wire ./internal/bin
+	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet ./internal/transport ./internal/transport/tcp ./internal/wire ./internal/bin ./internal/group ./internal/epaxos
 
 vet:
 	$(GO) vet ./...
@@ -79,3 +81,13 @@ bench-crdt:
 # BENCH_net.json at the repo root.
 bench-net:
 	$(GO) test -run TestRecordNetBench -count=1 -v ./internal/transport/tcp -record-net
+
+# A/B of the push multicast layer: direct sharded fan-out (one frame per
+# subscriber per flush) vs two-level multicast trees (one frame per subtree
+# root, relays re-fan the sealed frame to ≤degree children, cursor/repair
+# fallback on relay failure) at 1k/10k/100k relay-capable subscribers with
+# workspace-structured interest. Records the comparison to BENCH_tree.json
+# at the repo root; acceptance requires >=5x fewer DC-sent units at 100k,
+# delivered tx/s within 20% of direct, and zero violations in both modes.
+bench-tree:
+	$(GO) run ./cmd/colony-bench tree

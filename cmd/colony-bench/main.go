@@ -8,8 +8,9 @@
 //	colony-bench claims    # headline numbers (§1, §7.3)
 //	colony-bench ablations # K-stability / commit-variant / group-size / cache
 //	colony-bench fanout    # push fan-out A/B at 1k/10k/100k subscribers
-//	colony-bench all       # everything, in order (fanout excluded: run it
-//	                       # explicitly or via make bench-fanout)
+//	colony-bench tree      # tree-multicast vs direct-sharded A/B (DC egress)
+//	colony-bench all       # everything, in order (fanout/tree excluded: run
+//	                       # them explicitly or via make bench-fanout / bench-tree)
 //
 // Output is printed as aligned tables plus CSV blocks that plot directly.
 // --scale accelerates the modelled network (0.1 = 10× faster than the
@@ -51,6 +52,9 @@ func run(args []string) error {
 		fanSizes   = fs.String("fanout-sizes", "1000,10000,100000", "comma-separated subscriber populations for the fanout A/B")
 		fanCommits = fs.Int("fanout-commits", 64, "transactions committed per fanout run")
 		fanOut     = fs.String("fanout-out", "BENCH_fanout.json", "output file for the fanout A/B record")
+		treeSizes  = fs.String("tree-sizes", "1000,10000,100000", "comma-separated subscriber populations for the tree A/B")
+		treeDeg    = fs.Int("tree-degree", 16, "children per subtree root")
+		treeOut    = fs.String("tree-out", "BENCH_tree.json", "output file for the tree A/B record")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +68,7 @@ func run(args []string) error {
 		*actions = 10
 		*duration = 20 * time.Second
 		*fanSizes = "500,2000"
+		*treeSizes = "500,2000"
 	}
 
 	progress := func(msg string) { fmt.Fprintf(os.Stderr, "… %s\n", msg) }
@@ -114,6 +119,8 @@ func run(args []string) error {
 		return runAblations(*scale, *seed)
 	case "fanout":
 		return runFanout(*fanSizes, *fanCommits, *fanOut, *seed, progress)
+	case "tree":
+		return runTree(*treeSizes, *fanCommits, *treeDeg, *treeOut, *seed, progress)
 	case "claims", "all":
 		pts, err := bench.RunFig4(fig4cfg, progress)
 		if err != nil {
@@ -141,7 +148,7 @@ func run(args []string) error {
 		}
 		printClaims(bench.DeriveClaims(fig4, fig5))
 	default:
-		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|fanout|all)", cmd)
+		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|fanout|tree|all)", cmd)
 	}
 	return nil
 }
@@ -292,6 +299,137 @@ func runFanout(sizesCSV string, commits int, outPath string, seed int64, progres
 	if last := runs[len(runs)-1]; last.Speedup < 5 {
 		return fmt.Errorf("fanout: sharded speedup %.2fx at %d subscribers, acceptance requires >=5x",
 			last.Speedup, last.Subscribers)
+	}
+	return nil
+}
+
+// treeRun is one population point of the recorded tree-multicast A/B.
+type treeRun struct {
+	Subscribers int              `json:"subscribers"`
+	Direct      bench.TreeResult `json:"direct_sharded"`
+	Tree        bench.TreeResult `json:"tree"`
+	// EgressReduction is direct over tree on DC-sent units (higher = more
+	// DC egress absorbed by the relay layer).
+	EgressReduction float64 `json:"egress_reduction"`
+	// ThroughputRatio is tree over direct on delivered-txs/s; acceptance
+	// requires >= 0.8 (within 20% of direct).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+}
+
+// runTree records the tree-multicast vs direct-sharded push A/B (DESIGN.md
+// §4g) to outPath. Acceptance: zero delivery violations in both modes, ≥5×
+// fewer DC-sent units for tree mode at the largest population, and tree-mode
+// delivered-txs/s within 20% of direct.
+func runTree(sizesCSV string, commits, degree int, outPath string, seed int64, progress func(string)) error {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -tree-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+
+	// Simnet benches are wall-clock paced, so single runs are noisy; take
+	// the best of two attempts per mode (slowdowns from machine load are
+	// one-sided, violations are checked on every attempt).
+	best := func(cfg bench.TreeConfig) (bench.TreeResult, error) {
+		r1, err := bench.RunTree(cfg, progress)
+		if err != nil {
+			return r1, err
+		}
+		r2, err := bench.RunTree(cfg, progress)
+		if err != nil {
+			return r2, err
+		}
+		if r1.Violations+r2.Violations > 0 {
+			r1.Violations += r2.Violations
+			return r1, nil
+		}
+		if r2.DeliveredPerSec > r1.DeliveredPerSec {
+			return r2, nil
+		}
+		return r1, nil
+	}
+
+	var runs []treeRun
+	for _, size := range sizes {
+		cfg := bench.TreeConfig{Subscribers: size, Commits: commits, Degree: degree, Seed: seed}
+		cfg.Direct = true
+		direct, err := best(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Direct = false
+		tree, err := best(cfg)
+		if err != nil {
+			return err
+		}
+		run := treeRun{Subscribers: size, Direct: direct, Tree: tree}
+		if tree.DCSentUnits > 0 {
+			run.EgressReduction = float64(direct.DCSentUnits) / float64(tree.DCSentUnits)
+		}
+		if direct.DeliveredPerSec > 0 {
+			run.ThroughputRatio = tree.DeliveredPerSec / direct.DeliveredPerSec
+		}
+		runs = append(runs, run)
+	}
+
+	fmt.Println("\n== Tree multicast A/B — direct-sharded vs subtree relays (Zipf-skewed interest) ==")
+	fmt.Printf("%10s %14s %14s %9s %14s %12s %12s %8s\n",
+		"subs", "direct(sent)", "tree(sent)", "reduct", "relay(sent)", "direct(tx/s)", "tree(tx/s)", "ratio")
+	for _, r := range runs {
+		fmt.Printf("%10d %14d %14d %8.1fx %14d %12.0f %12.0f %8.2f\n",
+			r.Subscribers, r.Direct.DCSentUnits, r.Tree.DCSentUnits, r.EgressReduction,
+			r.Tree.RelaySentUnits, r.Direct.DeliveredPerSec, r.Tree.DeliveredPerSec, r.ThroughputRatio)
+	}
+
+	out := struct {
+		Generated string `json:"generated"`
+		Bench     string `json:"bench"`
+		Config    struct {
+			Commits int     `json:"commits"`
+			Buckets int     `json:"buckets"`
+			ZipfS   float64 `json:"zipf_s"`
+			Degree  int     `json:"degree"`
+			DCs     int     `json:"dcs"`
+			K       int     `json:"k"`
+		} `json:"config"`
+		Runs []treeRun `json:"runs"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Bench:     "tree multicast A/B: Zipf-skewed interest, direct-sharded baseline vs bounded-degree subtree relays (DC-sent units = every frame the DC put on the wire)",
+		Runs:      runs,
+	}
+	out.Config.Commits = commits
+	out.Config.Buckets = 64
+	out.Config.ZipfS = 1.2
+	out.Config.Degree = degree
+	out.Config.DCs = 1
+	out.Config.K = 1
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+
+	for _, r := range runs {
+		if v := r.Direct.Violations + r.Tree.Violations; v > 0 {
+			return fmt.Errorf("tree: %d delivery violations at %d subscribers", v, r.Subscribers)
+		}
+	}
+	last := runs[len(runs)-1]
+	if last.EgressReduction < 5 {
+		return fmt.Errorf("tree: DC egress reduction %.2fx at %d subscribers, acceptance requires >=5x",
+			last.EgressReduction, last.Subscribers)
+	}
+	if last.ThroughputRatio < 0.8 {
+		return fmt.Errorf("tree: delivered-txs/s ratio %.2f at %d subscribers, acceptance requires >=0.8",
+			last.ThroughputRatio, last.Subscribers)
 	}
 	return nil
 }

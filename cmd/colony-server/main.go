@@ -66,11 +66,14 @@ func run(args []string) error {
 		syncw   = fs.Bool("syncwrites", false, "commit acks wait for WAL durability (group-committed; needs -datadir)")
 		inline  = fs.Bool("inline", false, "disable the staged write pipeline (serial per-tx baseline)")
 		persub  = fs.Bool("persub", false, "per-subscriber push fan-out instead of interest shards (A/B baseline)")
+		direct  = fs.Bool("directpush", false, "push to every subscriber directly instead of via multicast trees (A/B baseline)")
+		treedeg = fs.Int("treedeg", 0, "children per relay in the push multicast trees (0 = default 16)")
 
 		listen   = fs.String("listen", "", "TCP mesh listen address; switches to multi-process mode (one real DC per process)")
 		peersF   = fs.String("peers", "", "comma-separated dcN=host:port pairs for the other DCs (mesh mode)")
 		index    = fs.Int("index", 0, "this DC's index in vector timestamps (mesh mode)")
 		workload = fs.Int("workload", 0, "commit this many counter increments after boot, for convergence checks (mesh mode)")
+		cork     = fs.Duration("flushdelay", 200*time.Microsecond, "TCP write-loop cork window: idle time to wait for more frames before flushing (mesh mode; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +85,7 @@ func run(args []string) error {
 			shards: *shards, k: *k, workload: *workload,
 			metrics: *metrics, every: *every, datadir: *datadir,
 			syncWrites: *syncw, inline: *inline, perSub: *persub,
+			directPush: *direct, treeDegree: *treedeg, flushDelay: *cork,
 			autoAdvance: *adv,
 		})
 	}
@@ -95,6 +99,8 @@ func run(args []string) error {
 		SyncWrites:           *syncw,
 		InlineWritePath:      *inline,
 		PerSubscriberPush:    *persub,
+		DirectPush:           *direct,
+		TreeDegree:           *treedeg,
 	})
 	if err != nil {
 		return err
@@ -196,6 +202,9 @@ type meshOptions struct {
 	syncWrites  bool
 	inline      bool
 	perSub      bool
+	directPush  bool
+	treeDegree  int
+	flushDelay  time.Duration
 	autoAdvance int
 }
 
@@ -233,6 +242,7 @@ func runMesh(o meshOptions) error {
 	reg := obs.New()
 	mesh, err := tcp.New(tcp.Config{
 		Name: name, Listen: o.listen, Peers: addrs, Obs: reg,
+		FlushDelay: o.flushDelay,
 	})
 	if err != nil {
 		return err
@@ -253,6 +263,8 @@ func runMesh(o meshOptions) error {
 		SyncWrites:           o.syncWrites,
 		Inline:               o.inline,
 		PerSubscriberPush:    o.perSub,
+		DirectPush:           o.directPush,
+		TreeDegree:           o.treeDegree,
 		AutoAdvanceThreshold: o.autoAdvance,
 	})
 	if err != nil {

@@ -89,6 +89,13 @@ type ClusterConfig struct {
 	// outbox, goroutine and filter pass per subscriber) — the fan-out A/B
 	// baseline (make bench-fanout). Ignored when InlineWritePath is set.
 	PerSubscriberPush bool
+	// DirectPush disables the tree multicast layered on the sharded fan-out:
+	// every relay-capable subscriber is pushed to directly, one frame each —
+	// the multicast A/B baseline (make bench-tree).
+	DirectPush bool
+	// TreeDegree bounds the children per relay in the multicast trees
+	// (default 16, see dc.Config).
+	TreeDegree int
 	// Obs is the deployment's instrumentation registry. Nil creates a fresh
 	// registry, so every deployment is always observable via Cluster.Obs();
 	// supply one to aggregate several clusters into a single exposition.
@@ -160,6 +167,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Inline:      cfg.InlineWritePath,
 
 			PerSubscriberPush: cfg.PerSubscriberPush,
+			DirectPush:        cfg.DirectPush,
+			TreeDegree:        cfg.TreeDegree,
 
 			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})

@@ -99,6 +99,26 @@ type Config struct {
 	// shards in sharded fan-out mode (default 4). Irrelevant in inline and
 	// per-subscriber modes.
 	PushShardWorkers int
+	// DirectPush disables tree multicast and restores PR 5's direct-sharded
+	// fan-out: the DC sends every shard frame itself, once per subscriber.
+	// It exists for A/B benchmarking (make bench-tree); production
+	// configurations leave it false and let relay-capable subscribers
+	// (Subscribe.Relay) re-fan-out frames to their subtree siblings.
+	DirectPush bool
+	// TreeDegree bounds a multicast subtree: one relay root plus at most
+	// TreeDegree children (default 16). Only relay-capable subscribers join
+	// trees; others always receive direct frames.
+	TreeDegree int
+	// TreeAckTimeout bounds how long the DC waits for a subtree root's
+	// forwarding receipt before assuming the relay died: the affected
+	// subscribers' cursors are rewound (the repair path re-covers them
+	// directly) and the tree is re-rooted. Default 2s.
+	TreeAckTimeout time.Duration
+	// PushCoalesce corks a dirty shard for the given window before flushing
+	// so that a burst of commits ships as one frame per member rather than
+	// one frame per commit — the push-layer analogue of TCP corking.
+	// Default 0 (flush immediately).
+	PushCoalesce time.Duration
 	// ServiceTime and Workers model the DC's finite capacity for
 	// client-facing requests (commit acceptance, fetches, subscriptions,
 	// migrated transactions): each such request occupies one of Workers
@@ -145,6 +165,15 @@ type subscription struct {
 	shard        *pushShard
 	deliveredIdx int
 	fanGen       uint64
+
+	// relay marks the subscriber as tree-multicast capable (it declared
+	// wire.Subscribe.Relay): it may be grouped into a subtree and asked to
+	// re-fan-out pushes. Sticky for the subscription's lifetime; written
+	// under d.mu, read during shard placement (also under d.mu).
+	relay bool
+	// tree is the multicast subtree this subscription currently belongs to
+	// (nil when direct). Guarded by the fanout mutex.
+	tree *pushTree
 }
 
 // signal wakes the subscription's push worker (no-op if already signalled).
@@ -221,6 +250,9 @@ type DC struct {
 	obsWALErrors    *obs.Counter
 	obsFramesBuilt  *obs.Counter
 	obsFramesShared *obs.Counter
+	obsPushSends    *obs.Counter
+	obsTreeAssigns  *obs.Counter
+	obsTreeRepairs  *obs.Counter
 	obsPushBatch    *obs.Histogram
 	obsReplBatch    *obs.Histogram
 	obsReplLat      *obs.Histogram
@@ -263,6 +295,12 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 	if cfg.PushShardWorkers <= 0 {
 		cfg.PushShardWorkers = 4
 	}
+	if cfg.TreeDegree <= 0 {
+		cfg.TreeDegree = 16
+	}
+	if cfg.TreeAckTimeout <= 0 {
+		cfg.TreeAckTimeout = 2 * time.Second
+	}
 	d := &DC{
 		cfg:           cfg,
 		coord:         coord,
@@ -284,6 +322,9 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 		d.obsWALErrors = cfg.Obs.Counter("dc.wal_errors")
 		d.obsFramesBuilt = cfg.Obs.Counter("dc.push_frames_built")
 		d.obsFramesShared = cfg.Obs.Counter("dc.push_frames_shared")
+		d.obsPushSends = cfg.Obs.Counter("dc.push_sends")
+		d.obsTreeAssigns = cfg.Obs.Counter("dc.tree_assigns")
+		d.obsTreeRepairs = cfg.Obs.Counter("dc.tree_repairs")
 		d.obsPushBatch = cfg.Obs.Histogram("dc.push_batch_txs")
 		d.obsReplBatch = cfg.Obs.Histogram("dc.repl_batch_txs")
 		d.obsReplLat = cfg.Obs.Histogram("dc.repl_propagation_ns")
@@ -341,6 +382,10 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 		for i := 0; i < cfg.PushShardWorkers; i++ {
 			d.pipeWG.Add(1)
 			go d.runShardWorker()
+		}
+		if !cfg.DirectPush {
+			d.pipeWG.Add(1)
+			go d.runTreeSweeper()
 		}
 	}
 	d.node = net.AddNode(cfg.Name, d.handle)
@@ -626,6 +671,9 @@ func (d *DC) handle(from string, msg any) any {
 		return d.subscribe(m)
 	case wire.Unsubscribe:
 		d.unsubscribe(m)
+		return nil
+	case wire.TreeAck:
+		d.handleTreeAck(m)
 		return nil
 	case wire.FetchObject:
 		return d.fetchObject(from, m.ID, m.At)
@@ -1033,6 +1081,9 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 		// the subscriber is already at or ahead of the cursor, nothing was
 		// lost and the (linear) rewind scan is skipped.
 		d.rewindSubLocked(sub, m.Since)
+	}
+	if m.Relay {
+		sub.relay = true // sticky for the subscription's lifetime
 	}
 	// Seeds are materialised at the *current* stable cut, never at the
 	// (possibly rewound) subscription cursor: the cut must dominate every

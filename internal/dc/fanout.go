@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"colony/internal/txn"
 	"colony/internal/vclock"
@@ -60,6 +61,16 @@ type pushShard struct {
 	segs     []pushSeg
 	queued   bool
 	inflight bool
+	// id is the compact per-DC shard identifier tree frames carry on the
+	// wire (the signature is unbounded); immutable after creation.
+	id uint64
+	// trees are the shard's multicast subtrees (relay-capable members only),
+	// guarded by the fanout mutex like subs.
+	trees []*pushTree
+	// treeByRoot indexes the shard's subtrees by root node name so ack
+	// handling is O(1) — at 100k subscribers a hot shard holds thousands of
+	// trees and each flush produces one ack per tree.
+	treeByRoot map[string]*pushTree
 }
 
 // fanout is the sharded fan-out state machine hanging off a DC.
@@ -75,9 +86,12 @@ type fanout struct {
 	cond    *sync.Cond
 	stopped bool
 	// shards indexes by interest signature; byBucket is the routing index
-	// (bucket → shards whose signature contains it).
+	// (bucket → shards whose signature contains it); byID resolves the
+	// compact shard id tree acks carry.
 	shards   map[string]*pushShard
 	byBucket map[string]map[*pushShard]bool
+	byID     map[uint64]*pushShard
+	nextID   uint64
 	dirty    []*pushShard
 	// idx is the scan frontier over d.log (every index below it has been
 	// routed); stable the cut handed out at the last scan; bcast the cut
@@ -92,6 +106,7 @@ func newFanout(d *DC) *fanout {
 		d:        d,
 		shards:   make(map[string]*pushShard),
 		byBucket: make(map[string]map[*pushShard]bool),
+		byID:     make(map[uint64]*pushShard),
 		stable:   d.mesh.KStable(d.cfg.K),
 	}
 	f.cond = sync.NewCond(&f.mu)
@@ -134,8 +149,10 @@ func (f *fanout) place(sub *subscription) {
 		f.removeLocked(sub)
 		sh := f.shards[sig]
 		if sh == nil {
-			sh = &pushShard{sig: sig, buckets: buckets, subs: make(map[*subscription]bool)}
+			f.nextID++
+			sh = &pushShard{sig: sig, buckets: buckets, subs: make(map[*subscription]bool), id: f.nextID}
 			f.shards[sig] = sh
+			f.byID[sh.id] = sh
 			f.d.fanShards.Add(1)
 			for b := range buckets {
 				set := f.byBucket[b]
@@ -148,6 +165,13 @@ func (f *fanout) place(sub *subscription) {
 		}
 		sh.subs[sub] = true
 		sub.shard = sh
+		if sub.relay && !f.d.cfg.DirectPush {
+			f.attachTreeLocked(sh, sub)
+		}
+	} else if sub.relay && sub.tree == nil && !f.d.cfg.DirectPush {
+		// The subscription upgraded to relay-capable (re-subscribe with the
+		// Relay bit) without changing its signature.
+		f.attachTreeLocked(sub.shard, sub)
 	}
 	sh := sub.shard
 	sh.segs = append(sh.segs, pushSeg{lo: f.idx, hi: f.idx, stable: f.stable})
@@ -167,12 +191,14 @@ func (f *fanout) removeLocked(sub *subscription) {
 	if sh == nil {
 		return
 	}
+	f.detachTreeLocked(sh, sub)
 	delete(sh.subs, sub)
 	sub.shard = nil
 	if len(sh.subs) > 0 {
 		return
 	}
 	delete(f.shards, sh.sig)
+	delete(f.byID, sh.id)
 	f.d.fanShards.Add(-1)
 	for b := range sh.buckets {
 		set := f.byBucket[b]
@@ -305,6 +331,19 @@ func (d *DC) runShardWorker() {
 		d.fanDirty.Add(-1)
 		sh.queued = false
 		sh.inflight = true
+		if w := d.cfg.PushCoalesce; w > 0 {
+			// Cork the flush briefly so a commit burst ships as one frame
+			// per member instead of one frame per commit. inflight keeps
+			// the shard off the dirty queue; segments queued during the
+			// window are picked up below.
+			f.mu.Unlock()
+			time.Sleep(w)
+			f.mu.Lock()
+			if f.stopped {
+				f.mu.Unlock()
+				return
+			}
+		}
 		segs := sh.segs
 		sh.segs = nil
 		members := make([]*subscription, 0, len(sh.subs))
@@ -356,11 +395,24 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 	stable := segs[len(segs)-1].stable
 	d.obsShardFanout.Observe(int64(len(members)))
 
+	// Tree path first: subtrees whose members all share one cursor get the
+	// sealed frame once, via their relay root. Members a tree covers are
+	// skipped by the direct grouping below.
+	var covered map[*subscription]bool
+	if !d.cfg.DirectPush && len(sh.trees) > 0 {
+		var plans []treeSend
+		plans, covered = d.planTreeSends(sh, hi, stable, gen)
+		d.sendTrees(sh, plans, segs, starts, filtered, stable, hi, gen)
+	}
+
 	// Group members by delivery cursor; each group shares one sealed frame.
 	// The common case is every member at the segments' first boundary: one
 	// group, one frame.
 	groups := make(map[int][]*subscription, 1)
 	for _, sub := range members {
+		if covered[sub] {
+			continue
+		}
 		sub.outMu.Lock()
 		ok := sub.fanGen == gen
 		di := sub.deliveredIdx
@@ -389,6 +441,7 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 			names[i] = sub.node
 		}
 		errs := d.node.SendMulti(names, frame)
+		d.obsPushSends.Add(int64(len(names)))
 		for i, sub := range subs {
 			if errs != nil && errs[i] != nil {
 				continue // unreachable: cursor stays put, a later flush repairs

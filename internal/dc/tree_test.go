@@ -1,0 +1,417 @@
+package dc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colony/internal/obs"
+	"colony/internal/simnet"
+	"colony/internal/txn"
+	"colony/internal/vclock"
+	"colony/internal/wire"
+)
+
+// treeRecorder is a relay-capable pushRecorder: it subscribes with the Relay
+// bit, keeps the child tables the DC assigns, re-fans TreePush frames out to
+// its children (mirroring edge.Node.relayPush), and still checks every
+// pushRecorder delivery invariant on the frames it applies locally. vanish
+// simulates a relay that crashes after the network accepted a frame: the
+// TreePush is swallowed — no forward, no ack — which only the DC's receipt
+// sweeper can detect.
+type treeRecorder struct {
+	pushRecorder
+	relayMu  sync.Mutex
+	tables   map[uint64]wire.TreeAssign // shard id → latest table
+	forwards atomic.Int64
+	acks     atomic.Int64
+	vanish   atomic.Bool
+}
+
+func newTreeRecorder(net *simnet.Network, name string, strict bool) *treeRecorder {
+	r := &treeRecorder{pushRecorder: pushRecorder{
+		name:      name,
+		strict:    strict,
+		byBucket:  make(map[string]int),
+		seen:      make(map[vclock.Dot]bool),
+		lastTsBkt: make(map[string]uint64),
+	}}
+	r.tables = make(map[uint64]wire.TreeAssign)
+	r.node = net.AddNode(name, r.handle)
+	return r
+}
+
+func (r *treeRecorder) handle(from string, msg any) any {
+	switch m := msg.(type) {
+	case wire.PushTxs:
+		return r.pushRecorder.handle(from, m)
+	case wire.TreeAssign:
+		r.relayMu.Lock()
+		r.tables[m.Shard] = m
+		r.relayMu.Unlock()
+		return nil
+	case wire.TreePush:
+		if r.vanish.Load() {
+			return nil // crashed after receive: no forward, no ack
+		}
+		r.relayMu.Lock()
+		table, ok := r.tables[m.Shard]
+		r.relayMu.Unlock()
+		ack := wire.TreeAck{Node: r.name, Shard: m.Shard, Epoch: m.Epoch, Seq: m.Seq}
+		if !ok || table.Epoch != m.Epoch {
+			ack.Dropped = true
+		} else {
+			errs := r.node.SendMulti(table.Children, m.Inner())
+			for i, err := range errs {
+				if err != nil {
+					ack.Failed = append(ack.Failed, table.Children[i])
+				}
+			}
+			r.forwards.Add(int64(len(table.Children) - len(ack.Failed)))
+		}
+		_ = r.node.Send(m.From, ack)
+		r.acks.Add(1)
+		return r.pushRecorder.handle(from, m.Inner())
+	}
+	return nil
+}
+
+func (r *treeRecorder) subscribeRelay(t *testing.T, dc string, ids ...txn.ObjectID) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := r.node.Call(ctx, dc, wire.Subscribe{Node: r.name, Objects: ids, Relay: true}); err != nil {
+		t.Fatalf("%s subscribe: %v", r.name, err)
+	}
+}
+
+// TestTreeMulticastDelivery: relay-capable subscribers sharing an interest
+// signature are organised into a subtree, the DC sends each flush once to
+// the root, and the root's re-fan-out reaches every sibling with the usual
+// delivery invariants intact. Run under -race via make ci.
+func TestTreeMulticastDelivery(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	reg := obs.New()
+	d := singleDC(t, net, func(cfg *Config) { cfg.Obs = reg })
+
+	recs := make([]*treeRecorder, 6)
+	for i := range recs {
+		recs[i] = newTreeRecorder(net, "relay"+string(rune('A'+i)), true)
+		recs[i].subscribeRelay(t, "dc0", alphaID)
+	}
+	topo := d.TreeTopology()
+	if len(topo) != 1 {
+		t.Fatalf("topology = %v, want one subtree", topo)
+	}
+	for root, children := range topo {
+		if len(children) != 5 {
+			t.Fatalf("root %s has %d children, want 5", root, len(children))
+		}
+	}
+
+	commitN(t, d, alphaID, 8)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 8 {
+				return false
+			}
+		}
+		return true
+	}, "tree pushes never arrived")
+
+	var forwards int64
+	for _, r := range recs {
+		forwards += r.forwards.Load()
+		r.checkClean(t)
+	}
+	if forwards == 0 {
+		t.Fatal("no relay ever forwarded a frame — pushes went direct")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dc.tree_assigns"] == 0 {
+		t.Error("dc.tree_assigns never incremented")
+	}
+	// Egress: every tree flush is 1 DC send (plus assigns) instead of 6.
+	if sends, relayed := snap.Counters["dc.push_sends"], forwards; sends >= 6*8 {
+		t.Errorf("dc.push_sends = %d with %d relay forwards — tree mode saved nothing", sends, relayed)
+	}
+}
+
+// TestTreeDegreeBounds: the subtree fan-out is capped at TreeDegree children
+// per root, splitting large shards into multiple subtrees.
+func TestTreeDegreeBounds(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, func(cfg *Config) { cfg.TreeDegree = 2 })
+
+	for i := 0; i < 7; i++ {
+		r := newTreeRecorder(net, "relay"+string(rune('A'+i)), true)
+		r.subscribeRelay(t, "dc0", alphaID)
+	}
+	topo := d.TreeTopology()
+	if len(topo) < 3 {
+		t.Fatalf("topology = %v, want ≥ 3 subtrees for 7 members at degree 2", topo)
+	}
+	total := 0
+	for root, children := range topo {
+		if len(children) > 2 {
+			t.Errorf("root %s has %d children, degree bound is 2", root, len(children))
+		}
+		total += 1 + len(children)
+	}
+	if total != 7 {
+		t.Errorf("trees cover %d members, want 7", total)
+	}
+}
+
+// TestTreeMixedRelayAndDirect: subscribers that never declared the Relay
+// capability share the shard but stay outside every tree and keep receiving
+// plain direct frames — tree mode must not change their protocol.
+func TestTreeMixedRelayAndDirect(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, nil)
+
+	ra := newTreeRecorder(net, "relayA", true)
+	rb := newTreeRecorder(net, "relayB", true)
+	plain := newPushRecorder(net, "plainC", true)
+	ra.subscribeRelay(t, "dc0", alphaID)
+	rb.subscribeRelay(t, "dc0", alphaID)
+	plain.subscribe(t, "dc0", false, nil, alphaID)
+
+	for _, children := range d.TreeTopology() {
+		for _, c := range children {
+			if c == "plainC" {
+				t.Fatal("non-relay subscriber was placed in a tree")
+			}
+		}
+	}
+	commitN(t, d, alphaID, 5)
+	waitFor(t, 2*time.Second, func() bool {
+		return ra.count("alpha") == 5 && rb.count("alpha") == 5 && plain.count("alpha") == 5
+	}, "mixed-mode pushes never arrived")
+	ra.checkClean(t)
+	rb.checkClean(t)
+	plain.checkClean(t)
+}
+
+// TestTreeAckFailedChildRewind: when the root cannot reach a child, its
+// aggregated ack names the child, the DC rewinds that child's cursor, and
+// the direct repair path re-covers it once it is reachable again — nothing
+// lost, nothing double-applied.
+func TestTreeAckFailedChildRewind(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, nil)
+
+	recs := map[string]*treeRecorder{}
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		r := newTreeRecorder(net, name, true)
+		r.subscribeRelay(t, "dc0", alphaID)
+		recs[name] = r
+	}
+	commitN(t, d, alphaID, 3)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 3 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up pushes never arrived")
+
+	// Cut one child off; the root's forward fails and the ack names it.
+	topo := d.TreeTopology()
+	var victim string
+	for _, children := range topo {
+		victim = children[0]
+	}
+	net.Isolate(victim)
+	commitN(t, d, alphaID, 4)
+	waitFor(t, 2*time.Second, func() bool {
+		for name, r := range recs {
+			if name != victim && r.count("alpha") != 7 {
+				return false
+			}
+		}
+		return true
+	}, "connected subscribers never got the second batch")
+	if got := recs[victim].count("alpha"); got != 3 {
+		t.Fatalf("isolated child received %d alpha txs, want the 3 pre-cut ones", got)
+	}
+
+	// Heal the link: the rewound cursor makes the next flush repair the gap.
+	net.Rejoin(victim)
+	commitN(t, d, alphaID, 1)
+	waitFor(t, 3*time.Second, func() bool { return recs[victim].count("alpha") == 8 }, "rewound child never repaired")
+	for _, r := range recs {
+		r.checkClean(t)
+	}
+}
+
+// TestTreeRelayCrashSweeperRepair: the hardest failure — the network accepts
+// the TreePush but the root dies before forwarding or acking. Only the
+// receipt sweeper can notice; it must rewind every member the orphaned send
+// covered, re-root the tree, and let the repair path converge the survivors.
+func TestTreeRelayCrashSweeperRepair(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, func(cfg *Config) { cfg.TreeAckTimeout = 100 * time.Millisecond })
+
+	recs := map[string]*treeRecorder{}
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		r := newTreeRecorder(net, name, true)
+		r.subscribeRelay(t, "dc0", alphaID)
+		recs[name] = r
+	}
+	commitN(t, d, alphaID, 2)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 2 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up pushes never arrived")
+
+	var root string
+	for r := range d.TreeTopology() {
+		root = r
+	}
+	recs[root].vanish.Store(true) // crash after receive: swallow, never ack
+
+	commitN(t, d, alphaID, 5)
+	// The children must converge via sweeper rewind + direct repair even
+	// though their relay is gone; the crashed root swallowed its own copy
+	// too, so it stays behind until it starts answering again.
+	waitFor(t, 5*time.Second, func() bool {
+		for name, r := range recs {
+			if name != root && r.count("alpha") != 7 {
+				return false
+			}
+		}
+		return true
+	}, "children never converged after relay crash")
+
+	// The tree must have been re-rooted away from the dead relay.
+	waitFor(t, 2*time.Second, func() bool {
+		for r := range d.TreeTopology() {
+			if r != root {
+				return true
+			}
+		}
+		return false
+	}, "tree never re-rooted")
+
+	// The crashed relay comes back (it answers pushes again): the sweeper
+	// already rewound it, so repair re-covers its gap too.
+	recs[root].vanish.Store(false)
+	commitN(t, d, alphaID, 1)
+	waitFor(t, 5*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 8 {
+				return false
+			}
+		}
+		return true
+	}, "revived relay never repaired")
+	for _, r := range recs {
+		r.checkClean(t)
+	}
+}
+
+// TestTreeChurnReRoots: unsubscribing the root re-roots the subtree and
+// delivery continues for the remaining members.
+func TestTreeChurnReRoots(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, nil)
+
+	recs := map[string]*treeRecorder{}
+	for _, name := range []string{"relayA", "relayB", "relayC", "relayD"} {
+		r := newTreeRecorder(net, name, true)
+		r.subscribeRelay(t, "dc0", alphaID)
+		recs[name] = r
+	}
+	commitN(t, d, alphaID, 3)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 3 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up pushes never arrived")
+
+	var root string
+	for r := range d.TreeTopology() {
+		root = r
+	}
+	recs[root].unsubscribe(t, "dc0")
+	topo := d.TreeTopology()
+	if len(topo) != 1 {
+		t.Fatalf("topology after root unsubscribe = %v, want one subtree", topo)
+	}
+	for newRoot, children := range topo {
+		if newRoot == root {
+			t.Fatalf("tree still rooted at unsubscribed %s", root)
+		}
+		if len(children) != 2 {
+			t.Fatalf("re-rooted tree has %d children, want 2", len(children))
+		}
+	}
+	commitN(t, d, alphaID, 4)
+	waitFor(t, 2*time.Second, func() bool {
+		for name, r := range recs {
+			if name != root && r.count("alpha") != 7 {
+				return false
+			}
+		}
+		return true
+	}, "post-churn pushes never arrived")
+	for name, r := range recs {
+		if name != root {
+			r.checkClean(t)
+		}
+	}
+}
+
+// TestTreeDirectPushFlag: the A/B escape hatch restores PR 5 exactly — no
+// trees are built even for relay-capable subscribers, every frame is a
+// direct send, and delivery is unchanged.
+func TestTreeDirectPushFlag(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	reg := obs.New()
+	d := singleDC(t, net, func(cfg *Config) { cfg.DirectPush = true; cfg.Obs = reg })
+
+	recs := make([]*treeRecorder, 4)
+	for i := range recs {
+		recs[i] = newTreeRecorder(net, "relay"+string(rune('A'+i)), true)
+		recs[i].subscribeRelay(t, "dc0", alphaID)
+	}
+	if topo := d.TreeTopology(); len(topo) != 0 {
+		t.Fatalf("DirectPush built trees: %v", topo)
+	}
+	commitN(t, d, alphaID, 6)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 6 {
+				return false
+			}
+		}
+		return true
+	}, "direct pushes never arrived")
+	for _, r := range recs {
+		if r.forwards.Load() != 0 || r.acks.Load() != 0 {
+			t.Error("DirectPush mode sent tree frames")
+		}
+		r.checkClean(t)
+	}
+	if n := reg.Snapshot().Counters["dc.tree_assigns"]; n != 0 {
+		t.Errorf("dc.tree_assigns = %d in DirectPush mode", n)
+	}
+}

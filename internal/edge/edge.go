@@ -208,9 +208,33 @@ type Node struct {
 	kstableLat   *obs.Histogram
 	bus          *obs.Bus
 
+	// relays are the tree-multicast child tables installed by the DC
+	// (wire.TreeAssign): on a TreePush for a (DC, shard) pair at the
+	// matching epoch, this node re-fans the frame out to the listed
+	// children. Guarded by relayMu (not n.mu: forwarding must not contend
+	// with the local apply path).
+	relayMu sync.Mutex
+	relays  map[relayKey]relayEntry
+
+	obsRelayFwd  *obs.Counter
+	obsRelayDrop *obs.Counter
+
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
+}
+
+// relayKey names one subtree this node roots: the owning DC and its compact
+// shard id.
+type relayKey struct {
+	from  string
+	shard uint64
+}
+
+// relayEntry is the child table for one subtree at one epoch.
+type relayEntry struct {
+	epoch    uint64
+	children []string
 }
 
 // New creates an edge node and registers it on the network. Call Connect to
@@ -230,6 +254,7 @@ func New(net transport.Network, cfg Config) *Node {
 		interest:  make(map[txn.ObjectID]bool),
 		connected: cfg.DC,
 		listeners: make(map[txn.ObjectID][]func(txn.ObjectID)),
+		relays:    make(map[relayKey]relayEntry),
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -242,6 +267,8 @@ func New(net transport.Network, cfg Config) *Node {
 	n.obsAcked = cfg.Obs.Counter("edge.tx_acked")
 	n.obsNacked = cfg.Obs.Counter("edge.tx_nacked")
 	n.obsFetchMiss = cfg.Obs.Counter("edge.fetch_miss")
+	n.obsRelayFwd = cfg.Obs.Counter("edge.relay_forwards")
+	n.obsRelayDrop = cfg.Obs.Counter("edge.relay_drops")
 	n.ackLat = cfg.Obs.Histogram("edge.commit_to_ack_ns")
 	n.kstableLat = cfg.Obs.Histogram("edge.commit_to_kstable_ns")
 	n.bus = cfg.Obs.Events()
@@ -560,6 +587,8 @@ func (n *Node) subscribe(dc string, ids []txn.ObjectID, resume bool, since vcloc
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 		reply, err = n.node.Call(ctx, dc, wire.Subscribe{
 			Node: n.cfg.Name, Objects: ids, Resume: resume, Since: since,
+			// Edge nodes understand the tree frames and volunteer as relays.
+			Relay: true,
 		})
 		cancel()
 		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
@@ -601,6 +630,19 @@ func (n *Node) handle(from string, msg any) any {
 	case wire.PushTxs:
 		n.ApplyPush(m)
 		return nil
+	case wire.TreeAssign:
+		n.relayMu.Lock()
+		key := relayKey{from: m.From, shard: m.Shard}
+		if len(m.Children) == 0 {
+			delete(n.relays, key)
+		} else {
+			n.relays[key] = relayEntry{epoch: m.Epoch, children: m.Children}
+		}
+		n.relayMu.Unlock()
+		return nil
+	case wire.TreePush:
+		n.relayPush(m)
+		return nil
 	default:
 		n.mu.Lock()
 		extra := n.hooks.Extra
@@ -610,6 +652,40 @@ func (n *Node) handle(from string, msg any) any {
 		}
 		return nil
 	}
+}
+
+// relayPush is the subtree-root half of tree multicast (paper §3.4): the DC
+// sent the sealed shard frame here once, and this node re-fans it out to the
+// children its current wire.TreeAssign table names, then applies the frame
+// locally and returns one aggregated wire.TreeAck. The frame is forwarded
+// *before* the local apply so the children's latency does not stack behind
+// this node's store work; it is forwarded as a plain PushTxs (TreePush.Inner,
+// sharing the sealed transaction run — no copies), so children need no tree
+// awareness. A missing or differently-versioned child table means a
+// membership change is in flight: forwarding to a guessed set could skip a
+// newly added sibling, so the node refuses (Dropped) and lets the DC repair
+// its children directly.
+func (n *Node) relayPush(m wire.TreePush) {
+	n.relayMu.Lock()
+	ent, ok := n.relays[relayKey{from: m.From, shard: m.Shard}]
+	n.relayMu.Unlock()
+	ack := wire.TreeAck{Node: n.cfg.Name, Shard: m.Shard, Epoch: m.Epoch, Seq: m.Seq}
+	if !ok || ent.epoch != m.Epoch {
+		ack.Dropped = true
+		n.obsRelayDrop.Inc()
+	} else {
+		errs := n.node.SendMulti(ent.children, m.Inner())
+		sent := len(ent.children)
+		for i, err := range errs {
+			if err != nil {
+				ack.Failed = append(ack.Failed, ent.children[i])
+				sent--
+			}
+		}
+		n.obsRelayFwd.Add(int64(sent))
+	}
+	_ = n.node.Send(m.From, ack) // a lost ack is healed by the DC's sweeper
+	n.ApplyPush(m.Inner())
 }
 
 // ApplyPush integrates a batch of stable transactions (from the connected DC
@@ -799,7 +875,7 @@ func (n *Node) fetchMiss(id txn.ObjectID, kind crdt.Kind, at vclock.Vector) (crd
 	// serves this transaction. Since anchors the resume at our stable cut —
 	// an empty Since would rewind the subscription and replay the whole log
 	// on every cache miss.
-	_ = n.node.Send(dc, wire.Subscribe{Node: name, Objects: []txn.ObjectID{id}, Resume: true, Since: since})
+	_ = n.node.Send(dc, wire.Subscribe{Node: name, Objects: []txn.ObjectID{id}, Resume: true, Since: since, Relay: true})
 	// No clone: Seed stored its own sealed copy, and a sealed obj (served
 	// from a shared snapshot) is read-safe — ReadTracked forks before any
 	// buffered-update replay.

@@ -425,3 +425,100 @@ func TestRemoveInterestEvicts(t *testing.T) {
 		t.Fatalf("read after eviction while offline = %v", err)
 	}
 }
+
+// TestTreeRelayCrashEdgeConvergence kills a subtree root mid-stream and
+// asserts every surviving interested edge still converges through the
+// cursor/repair fallback, with no duplicate or lost transactions (the
+// counter value is exact). The revived root catches up too.
+func TestTreeRelayCrashEdgeConvergence(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(net.Close)
+	d, err := dc.New(net.Transport(), dc.Config{
+		Index: 0, Name: "dc0", NumDCs: 1, Shards: 2, K: 1,
+		Heartbeat: 5 * time.Millisecond, TreeAckTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetPeers(map[int]string{0: "dc0"})
+	t.Cleanup(d.Close)
+
+	edges := map[string]*Node{}
+	for _, name := range []string{"edgeA", "edgeB", "edgeC", "edgeD", "edgeE"} {
+		n := New(net.Transport(), Config{Name: name, Actor: name, DC: "dc0", RetryInterval: 5 * time.Millisecond})
+		t.Cleanup(n.Close)
+		if err := n.Connect(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddInterest(xID); err != nil {
+			t.Fatal(err)
+		}
+		edges[name] = n
+	}
+
+	// Edges subscribe with the Relay bit, so the DC builds a subtree.
+	topo := d.TreeTopology()
+	if len(topo) == 0 {
+		t.Fatal("no multicast tree was built for relay-capable edges")
+	}
+	var root string
+	for r := range topo {
+		root = r
+	}
+	// Commit from an edge that is not the root so the writer survives.
+	var writer *Node
+	for name, n := range edges {
+		if name != root {
+			writer = n
+			break
+		}
+	}
+
+	commit := func(delta int64) {
+		t.Helper()
+		tx := writer.Begin()
+		inc(tx, delta)
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(1)
+	commit(1)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, n := range edges {
+			if counterAt(t, n) != 2 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up commits never propagated")
+
+	// Kill the subtree root mid-push.
+	net.Isolate(root)
+	for i := 0; i < 5; i++ {
+		commit(1)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for name, n := range edges {
+			if name != root && counterAt(t, n) != 7 {
+				return false
+			}
+		}
+		return true
+	}, "surviving edges never converged after root crash")
+	if got := counterAt(t, edges[root]); got != 2 {
+		t.Fatalf("isolated root advanced to %d while partitioned", got)
+	}
+
+	// Revive the root: the rewound cursor plus the next flush repair it.
+	net.Rejoin(root)
+	commit(1)
+	waitFor(t, 5*time.Second, func() bool {
+		for _, n := range edges {
+			if counterAt(t, n) != 8 {
+				return false
+			}
+		}
+		return true
+	}, "revived root never repaired")
+}

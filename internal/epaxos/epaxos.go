@@ -18,34 +18,22 @@
 package epaxos
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"colony/internal/wire"
 )
 
 // InstanceID names a command slot: each replica leads its own instance
-// sub-space, so instance allocation needs no coordination.
-type InstanceID struct {
-	Replica string
-	Slot    uint64
-}
+// sub-space, so instance allocation needs no coordination. The type (like the
+// protocol messages below) lives in the wire package so it has a stable
+// binary encoding; the alias keeps this package's API unchanged.
+type InstanceID = wire.EPaxosInstanceID
 
-// String renders like "peer1[4]".
-func (id InstanceID) String() string { return fmt.Sprintf("%s[%d]", id.Replica, id.Slot) }
-
-// Command is one unit of agreement.
-type Command struct {
-	// ID identifies the command globally (the transaction dot rendered as a
-	// string, in Colony's use).
-	ID string
-	// Keys are the interference keys: commands sharing a key conflict and
-	// are totally ordered relative to each other.
-	Keys []string
-	// Payload is the command body (a *txn.Transaction in Colony); opaque to
-	// the protocol.
-	Payload any
-}
+// Command is one unit of agreement: interference keys plus an opaque payload
+// (a *txn.Transaction in Colony).
+type Command = wire.EPaxosCommand
 
 // status is the lifecycle of an instance.
 type status int
@@ -77,48 +65,24 @@ type instance struct {
 	commitAcked  map[string]bool
 }
 
-// Messages exchanged between replicas. The group layer routes them.
+// Messages exchanged between replicas. The group layer routes them. The
+// concrete types live in the wire package (tags 26-31) so consensus traffic
+// is encodable across processes; the aliases keep handler type switches and
+// constructors here unchanged.
 type (
 	// PreAccept is phase one, sent by the command leader.
-	PreAccept struct {
-		Inst InstanceID
-		Cmd  Command
-		Deps []InstanceID
-		Seq  uint64
-	}
+	PreAccept = wire.EPaxosPreAccept
 	// PreAcceptOK is the reply, carrying the replica's (possibly extended)
 	// dependencies.
-	PreAcceptOK struct {
-		Inst    InstanceID
-		From    string
-		Deps    []InstanceID
-		Seq     uint64
-		Changed bool
-	}
+	PreAcceptOK = wire.EPaxosPreAcceptOK
 	// Accept is the slow-path phase run when pre-accept replies disagree.
-	Accept struct {
-		Inst InstanceID
-		Cmd  Command
-		Deps []InstanceID
-		Seq  uint64
-	}
+	Accept = wire.EPaxosAccept
 	// AcceptOK acknowledges an Accept.
-	AcceptOK struct {
-		Inst InstanceID
-		From string
-	}
+	AcceptOK = wire.EPaxosAcceptOK
 	// Commit finalises the instance at every replica.
-	Commit struct {
-		Inst InstanceID
-		Cmd  Command
-		Deps []InstanceID
-		Seq  uint64
-	}
+	Commit = wire.EPaxosCommit
 	// CommitAck lets the leader stop re-broadcasting a commit to a peer.
-	CommitAck struct {
-		Inst InstanceID
-		From string
-	}
+	CommitAck = wire.EPaxosCommitAck
 )
 
 // Transport sends a protocol message to a peer replica; implementations are

@@ -25,6 +25,7 @@ import (
 
 	"colony/internal/txn"
 	"colony/internal/vclock"
+	"colony/internal/wire"
 )
 
 // Errors returned by the group layer.
@@ -48,56 +49,35 @@ const (
 )
 
 // --- group wire messages ---
+//
+// The message types live in the wire package (wire.GroupJoinReq and friends,
+// tags 18-25) so they have stable tags and binary codecs — peer-group traffic
+// can span real TCP processes. The aliases keep this package's API and every
+// in-process type switch unchanged.
 
 type (
 	// JoinReq asks the parent to admit a node into the group.
-	JoinReq struct {
-		Node  string
-		Actor string
-	}
+	JoinReq = wire.GroupJoinReq
 	// JoinAck returns the current membership (parent included) and the
 	// group's session key for content encryption.
-	JoinAck struct {
-		Members    []string
-		Parent     string
-		SessionKey []byte
-	}
+	JoinAck = wire.GroupJoinAck
 	// LeaveReq removes a node from the group.
-	LeaveReq struct {
-		Node string
-	}
+	LeaveReq = wire.GroupLeaveReq
 	// MemberEvent broadcasts the new full membership after a change.
-	MemberEvent struct {
-		Members []string
-	}
+	MemberEvent = wire.GroupMemberEvent
 	// PromoteMsg distributes a concrete commit descriptor assigned by the DC
 	// for a group transaction.
-	PromoteMsg struct {
-		Dot     vclock.Dot
-		DCIndex int
-		Ts      uint64
-		Stable  vclock.Vector
-	}
+	PromoteMsg = wire.GroupPromote
 	// SyncReq asks the parent for the visibility log from index From, to
 	// recover transactions missed while disconnected.
-	SyncReq struct {
-		Node string
-		From int
-	}
+	SyncReq = wire.GroupSyncReq
 	// SyncAck returns the requested visibility log suffix (with current
 	// commit stamps) and the parent's stable vector.
-	SyncAck struct {
-		From    int
-		Entries []*txn.Transaction
-		Stable  vclock.Vector
-	}
+	SyncAck = wire.GroupSyncAck
 	// VisEntry pushes one newly group-visible transaction to a member as it
 	// executes (§5.1.2: updates are pushed in a best-effort manner); SyncReq
 	// remains as the recovery path for members that missed pushes.
-	VisEntry struct {
-		Index int
-		Tx    *txn.Transaction
-	}
+	VisEntry = wire.GroupVisEntry
 )
 
 // interferenceKeys renders a transaction's updated objects as EPaxos keys.

@@ -3,6 +3,7 @@ package simnet
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -124,6 +125,89 @@ func TestSendMultiClosedNetwork(t *testing.T) {
 	}
 	if err := src.Send("a", "late"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSendEachMatchesSendPerPair pins SendEach's contract: each destination
+// receives its own message, errs[i] agrees with a solo Send to the same
+// destination, FIFO with surrounding Sends on the same link holds, and a
+// failing pair never affects the others.
+func TestSendEachMatchesSendPerPair(t *testing.T) {
+	net := New(Config{})
+	defer net.Close()
+
+	var mu sync.Mutex
+	var got []any
+	record := func(from string, msg any) any {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		return nil
+	}
+	src := net.AddNode("src", nil)
+	net.AddNode("ok1", record)
+	net.AddNode("ok2", record)
+	net.AddNode("down", record)
+	net.Partition("src", "down")
+
+	dests := []string{"ok1", "down", "ghost", "ok2"}
+	msgs := []any{"m-ok1", "m-down", "m-ghost", "m-ok2"}
+	errs := src.SendEach(dests, msgs)
+	if len(errs) != len(dests) {
+		t.Fatalf("errs = %v, want one entry per pair", errs)
+	}
+	if !errors.Is(errs[1], ErrUnreachable) {
+		t.Errorf("down link: got %v, want ErrUnreachable", errs[1])
+	}
+	if !errors.Is(errs[2], ErrUnknownNode) {
+		t.Errorf("unknown node: got %v, want ErrUnknownNode", errs[2])
+	}
+	if errs[0] != nil || errs[3] != nil {
+		t.Errorf("healthy pairs reported errors: %v", errs)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	seen := map[any]bool{got[0]: true, got[1]: true}
+	mu.Unlock()
+	if !seen["m-ok1"] || !seen["m-ok2"] {
+		t.Fatalf("delivered %v, want each destination's own message", seen)
+	}
+
+	// All pairs accepted → nil slice, like SendMulti's fast path.
+	if errs := src.SendEach([]string{"ok1", "ok2"}, []any{"x", "y"}); errs != nil {
+		t.Fatalf("all-accepted SendEach returned %v, want nil", errs)
+	}
+
+	// FIFO with interleaved Sends on the same link: ordering is per
+	// scheduling call on the src→ok1 link.
+	if err := src.Send("ok1", "before"); err != nil {
+		t.Fatal(err)
+	}
+	src.SendEach([]string{"ok1"}, []any{"middle"})
+	if err := src.Send("ok1", "after"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 7
+	})
+	mu.Lock()
+	var onLink []any
+	for _, m := range got {
+		switch m {
+		case "before", "middle", "after":
+			onLink = append(onLink, m)
+		}
+	}
+	mu.Unlock()
+	want := []any{"before", "middle", "after"}
+	if len(onLink) != 3 || onLink[0] != want[0] || onLink[1] != want[1] || onLink[2] != want[2] {
+		t.Fatalf("src→ok1 order = %v, want %v (FIFO across Send/SendEach)", onLink, want)
 	}
 }
 

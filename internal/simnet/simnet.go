@@ -501,11 +501,52 @@ func (nd *Node) SendMulti(to []string, msg any) []error {
 		}
 	}
 	n.mu.Unlock()
+	n.drainStarted(started)
+	return errs
+}
+
+// SendEach delivers msgs[i] to to[i] in one scheduling pass — the
+// heterogeneous sibling of SendMulti, for fan-outs where every destination
+// gets its own envelope around mostly-shared payload (per-subtree TreePush
+// frames differ only in routing header). One lock acquisition covers the
+// whole batch and activated links drain on the same bounded worker pool, so
+// a thousand subtree roots cost one scheduling pass, not a thousand. The
+// error contract matches SendMulti: errs[i] is exactly what
+// Send(to[i], msgs[i]) would have returned at the same instant, and a nil
+// slice means every pair was accepted.
+func (nd *Node) SendEach(to []string, msgs []any) []error {
+	n := nd.net
+	var errs []error
+	var started []*link
+	n.mu.Lock()
+	for i, dstName := range to {
+		msg := msgs[i]
+		start, err := n.scheduleLocked(nd.name, dstName, unitsOf(msg), func(dst *Node) {
+			dst.dispatch(nd.name, msg)
+		})
+		if start != nil {
+			started = append(started, start)
+		}
+		if err != nil && !errors.Is(err, errLostInternal) {
+			if errs == nil {
+				errs = make([]error, len(to))
+			}
+			errs[i] = err
+		}
+	}
+	n.mu.Unlock()
+	n.drainStarted(started)
+	return errs
+}
+
+// drainStarted runs the links a batched scheduling pass activated: one
+// goroutine per link below fanoutDrainWorkers, a fixed worker batch above.
+func (n *Network) drainStarted(started []*link) {
 	if len(started) <= fanoutDrainWorkers {
 		for _, l := range started {
 			go n.runLink(l)
 		}
-		return errs
+		return
 	}
 	for w := 0; w < fanoutDrainWorkers; w++ {
 		chunk := started[w*len(started)/fanoutDrainWorkers : (w+1)*len(started)/fanoutDrainWorkers]
@@ -515,7 +556,6 @@ func (nd *Node) SendMulti(to []string, msg any) []error {
 			}
 		}(chunk)
 	}
-	return errs
 }
 
 // Call sends msg to node to and waits for its handler's return value, a

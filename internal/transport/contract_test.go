@@ -151,6 +151,38 @@ func runConnContract(t *testing.T, netA, netB transport.Network) {
 	}
 	waitCount(base+1, "partial fan-out delivery")
 
+	// SendEach, all destinations good: nil slice, each destination gets its
+	// own message.
+	base = received()
+	if errs := a.SendEach([]string{"b", "b2"}, []any{wire.ReplHeartbeat{From: 70}, wire.ReplHeartbeat{From: 71}}); errs != nil {
+		t.Fatalf("all-ok SendEach: %v, want nil", errs)
+	}
+	waitCount(base+2, "per-destination fan-out delivery")
+	mu.Lock()
+	seen := map[int]bool{}
+	for _, r := range got[base:] {
+		seen[r.msg.(wire.ReplHeartbeat).From] = true
+	}
+	mu.Unlock()
+	if !seen[70] || !seen[71] {
+		t.Fatalf("SendEach delivered %v, want both 70 and 71", seen)
+	}
+
+	// SendEach with an unknown destination: per-index errors, the good pair
+	// still delivered.
+	base = received()
+	errs = a.SendEach([]string{"ghost", "b"}, []any{hb, wire.ReplHeartbeat{From: 72}})
+	if len(errs) != 2 || errs[0] == nil || errs[1] != nil {
+		t.Fatalf("partial SendEach errs = %v, want [non-nil nil]", errs)
+	}
+	waitCount(base+1, "partial per-destination delivery")
+	mu.Lock()
+	last := got[len(got)-1].msg.(wire.ReplHeartbeat)
+	mu.Unlock()
+	if last.From != 72 {
+		t.Fatalf("partial SendEach delivered %#v, want From=72", last)
+	}
+
 	// Send to an unknown destination: local refusal.
 	if err := a.Send("ghost", hb); err == nil {
 		t.Fatal("send to unknown destination accepted")

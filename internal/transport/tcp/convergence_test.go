@@ -11,6 +11,7 @@ import (
 
 	"colony/internal/crdt"
 	"colony/internal/dc"
+	"colony/internal/obs"
 	"colony/internal/simnet"
 	"colony/internal/transport/tcp"
 	"colony/internal/txn"
@@ -22,16 +23,37 @@ var recordNet = flag.Bool("record-net", false,
 
 var benchID = txn.ObjectID{Bucket: "bench", Key: "ctr"}
 
-// tcpDCs builds n real DCs, one per TCP mesh, fully cross-wired on loopback.
-// This is the in-process version of a multi-process colony-server deployment:
-// every replication frame crosses a real socket through the binary codec.
+// tcpDCs builds n real DCs, one per TCP mesh, fully cross-wired on loopback,
+// with the write-loop cork at colony-server's default. This is the in-process
+// version of a multi-process colony-server deployment: every replication
+// frame crosses a real socket through the binary codec.
 func tcpDCs(t testing.TB, n int) []*dc.DC {
+	dcs, _ := tcpDCsCork(t, n, 200*time.Microsecond)
+	return dcs
+}
+
+// tcpDCsNoCork is the flush-per-drain baseline for the corking A/B.
+func tcpDCsNoCork(t testing.TB, n int) ([]*dc.DC, *obs.Registry) {
+	return tcpDCsCork(t, n, 0)
+}
+
+// tcpDCsCorked is the corked variant at colony-server's default window.
+func tcpDCsCorked(t testing.TB, n int) ([]*dc.DC, *obs.Registry) {
+	return tcpDCsCork(t, n, 200*time.Microsecond)
+}
+
+func tcpDCsCork(t testing.TB, n int, flushDelay time.Duration) ([]*dc.DC, *obs.Registry) {
 	t.Helper()
+	reg := obs.New()
 	peers := make(map[int]string, n)
 	meshes := make([]*tcp.Mesh, n)
 	for i := 0; i < n; i++ {
 		peers[i] = fmt.Sprintf("dc%d", i)
-		m, err := tcp.New(tcp.Config{Name: peers[i], Listen: "127.0.0.1:0"})
+		m, err := tcp.New(tcp.Config{
+			Name: peers[i], Listen: "127.0.0.1:0",
+			Obs:        reg,
+			FlushDelay: flushDelay,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,14 +79,15 @@ func tcpDCs(t testing.TB, n int) []*dc.DC {
 		t.Cleanup(d.Close)
 		dcs[i] = d
 	}
-	return dcs
+	return dcs, reg
 }
 
 // simnetDCs is the same topology on the simulator, for the benchmark's
 // baseline and to keep the two substrates honest against each other.
-func simnetDCs(t testing.TB, n int) []*dc.DC {
+func simnetDCs(t testing.TB, n int) ([]*dc.DC, *obs.Registry) {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	reg := obs.New()
+	net := simnet.New(simnet.Config{Obs: reg})
 	t.Cleanup(net.Close)
 	peers := make(map[int]string, n)
 	for i := 0; i < n; i++ {
@@ -82,7 +105,7 @@ func simnetDCs(t testing.TB, n int) []*dc.DC {
 		t.Cleanup(d.Close)
 		dcs[i] = d
 	}
-	return dcs
+	return dcs, reg
 }
 
 func counterAt(d *dc.DC) int64 {
@@ -197,31 +220,37 @@ func TestRecordNetBench(t *testing.T) {
 	}
 	const (
 		nDCs  = 3
-		perDC = 400
+		perDC = 2000 // long enough that throughput, not tail latency, dominates
 	)
 	total := int64(nDCs * perDC)
-
-	run := func(build func(testing.TB, int) []*dc.DC) (commitS, convergeS float64) {
-		dcs := build(t, nDCs)
-		start := time.Now()
-		commitBurst(t, dcs, perDC)
-		commit := time.Since(start)
-		converged := waitConverged(t, dcs, total, 60*time.Second)
-		return commit.Seconds(), (commit + converged).Seconds()
-	}
 
 	type result struct {
 		CommitSeconds   float64 `json:"commit_seconds"`
 		ConvergeSeconds float64 `json:"converge_seconds"`
 		TxPerSec        float64 `json:"tx_per_sec"`
+		// Frames and Flushes report the corking A/B's direct measure: how
+		// many frames each socket flush carried (simnet has no flushes).
+		Frames  int64 `json:"frames_sent,omitempty"`
+		Flushes int64 `json:"flushes,omitempty"`
 	}
-	record := func(build func(testing.TB, int) []*dc.DC) result {
-		commitS, convergeS := run(build)
-		return result{
-			CommitSeconds:   commitS,
+	record := func(build func(testing.TB, int) ([]*dc.DC, *obs.Registry)) result {
+		dcs, reg := build(t, nDCs)
+		start := time.Now()
+		commitBurst(t, dcs, perDC)
+		commit := time.Since(start)
+		converged := waitConverged(t, dcs, total, 60*time.Second)
+		convergeS := (commit + converged).Seconds()
+		res := result{
+			CommitSeconds:   commit.Seconds(),
 			ConvergeSeconds: convergeS,
 			TxPerSec:        float64(total) / convergeS,
 		}
+		if reg != nil {
+			snap := reg.Snapshot()
+			res.Frames = snap.Counters["net.sent"]
+			res.Flushes = snap.Counters["net.flushes"]
+		}
+		return res
 	}
 
 	out := struct {
@@ -229,13 +258,15 @@ func TestRecordNetBench(t *testing.T) {
 		DCs       int    `json:"dcs"`
 		TotalTxs  int64  `json:"total_txs"`
 		Simnet    result `json:"simnet"`
+		TCPNoCork result `json:"tcp_loopback_nocork"`
 		TCP       result `json:"tcp_loopback"`
 	}{
-		Benchmark: "replication throughput: commit burst to cluster-wide convergence, simnet vs TCP loopback",
+		Benchmark: "replication throughput: commit burst to cluster-wide convergence, simnet vs TCP loopback (flush-per-drain vs corked write loop)",
 		DCs:       nDCs,
 		TotalTxs:  total,
 		Simnet:    record(simnetDCs),
-		TCP:       record(tcpDCs),
+		TCPNoCork: record(tcpDCsNoCork),
+		TCP:       record(tcpDCsCorked),
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -245,5 +276,8 @@ func TestRecordNetBench(t *testing.T) {
 	if err := os.WriteFile("../../../BENCH_net.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("simnet: %.0f tx/s, tcp: %.0f tx/s", out.Simnet.TxPerSec, out.TCP.TxPerSec)
+	t.Logf("simnet: %.0f tx/s, tcp nocork: %.0f tx/s (%d frames / %d flushes), tcp corked: %.0f tx/s (%d frames / %d flushes)",
+		out.Simnet.TxPerSec,
+		out.TCPNoCork.TxPerSec, out.TCPNoCork.Frames, out.TCPNoCork.Flushes,
+		out.TCP.TxPerSec, out.TCP.Frames, out.TCP.Flushes)
 }

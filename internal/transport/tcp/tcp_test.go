@@ -455,3 +455,60 @@ func TestCloseReapsOrphanInboundConns(t *testing.T) {
 		t.Fatal("Close hung with an orphan inbound conn open")
 	}
 }
+
+// TestFlushDelayCork exercises the write-loop cork: with FlushDelay set, the
+// writer holds buffered frames for an idle window to coalesce a trickle of
+// small sends into few flushes. Everything must still arrive, and a call —
+// whose round trip crosses two corked write loops — must complete within the
+// idle bound rather than stalling behind it.
+func TestFlushDelayCork(t *testing.T) {
+	newCorked := func(name string) *Mesh {
+		m, err := New(Config{
+			Name: name, Listen: "127.0.0.1:0",
+			FlushDelay: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("new mesh %s: %v", name, err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ma := newCorked("procA")
+	mb := newCorked("procB")
+
+	var sb sink
+	mb.AddNode("b", sb.handler)
+	a := ma.AddNode("a", nil)
+	ma.SetPeer("b", mb.Addr())
+
+	// A burst of small frames: the cork coalesces them, none may be lost.
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", wire.ReplHeartbeat{From: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, "corked frames delivered", func() bool { return sb.len() >= n })
+	for i := 0; i < n; i++ {
+		hb, ok := sb.msg(i).(wire.ReplHeartbeat)
+		if !ok || hb.From != i {
+			t.Fatalf("frame %d: got %#v, want heartbeat From=%d", i, sb.msg(i), i)
+		}
+	}
+
+	// Round trip over two corked writers: each direction pays at most one
+	// idle window, so the call finishes promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	v, err := a.Call(ctx, "b", wire.ReplHeartbeat{From: 42})
+	if err != nil {
+		t.Fatalf("call through cork: %v", err)
+	}
+	if ack, ok := v.(wire.EdgeCommitAck); !ok || ack.DCIndex != 42 {
+		t.Fatalf("call reply: got %#v, want ack DCIndex=42", v)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("corked call took %v, idle cork should flush in ~ms", el)
+	}
+}

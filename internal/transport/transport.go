@@ -65,6 +65,14 @@ type Conn interface {
 	// destination with a nil entry.
 	SendMulti(to []string, msg any) []error
 
+	// SendEach delivers msgs[i] to to[i] — the heterogeneous sibling of
+	// SendMulti, for fan-outs where every destination gets its own envelope
+	// around mostly-shared payload (e.g. per-subtree tree-push frames).
+	// len(msgs) must equal len(to). The error contract is SendMulti's:
+	// errs[i] is exactly what Send(to[i], msgs[i]) would have returned at
+	// the same instant, and a nil slice means every pair was accepted.
+	SendEach(to []string, msgs []any) []error
+
 	// Call sends msg and blocks until the destination's handler returns a
 	// reply, ctx expires, or the transport closes.
 	Call(ctx context.Context, to string, msg any) (any, error)

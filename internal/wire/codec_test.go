@@ -77,7 +77,7 @@ func goldenMessages() map[string]Message {
 			Missing: vclock.Vector{1, 0, 0}},
 		"subscribe": Subscribe{Node: "edge-7",
 			Objects: []txn.ObjectID{{Bucket: "docs", Key: "readme"}, {Bucket: "docs", Key: "todo"}},
-			Resume:  true, Since: vclock.Vector{2, 2, 2}},
+			Resume:  true, Since: vclock.Vector{2, 2, 2}, Relay: true},
 		"subscribe_ack": SubscribeAck{Stable: vclock.Vector{4, 4, 4},
 			Objects: []ObjectState{sampleObjectState()}},
 		"unsubscribe":  Unsubscribe{Node: "edge-7", Objects: []txn.ObjectID{{Bucket: "docs", Key: "todo"}}},
@@ -86,6 +86,37 @@ func goldenMessages() map[string]Message {
 		"push_txs": PushTxs{From: "dc1", Txs: []*txn.Transaction{sampleTx()},
 			Stable: vclock.Vector{5, 5, 5}},
 		"migrated_tx_ack": MigratedTxAck{Commit: vclock.CommitStamps{1: 17}, Err: "boom"},
+		"tree_assign": TreeAssign{From: "dc1", Shard: 7, Epoch: 3,
+			Children: []string{"edge-2", "edge-3", "edge-4"}},
+		"tree_push": TreePush{From: "dc1", Shard: 7, Epoch: 3, Seq: 12,
+			Txs: []*txn.Transaction{sampleTx()}, Stable: vclock.Vector{5, 5, 5}},
+		"tree_ack": TreeAck{Node: "edge-1", Shard: 7, Epoch: 3, Seq: 12,
+			Failed: []string{"edge-3"}, Dropped: true},
+		"group_join_req": GroupJoinReq{Node: "peer-2", Actor: "bob"},
+		"group_join_ack": GroupJoinAck{Members: []string{"parent-1", "peer-2"},
+			Parent: "parent-1", SessionKey: []byte{0xde, 0xad, 0xbe, 0xef}},
+		"group_leave_req":    GroupLeaveReq{Node: "peer-2"},
+		"group_member_event": GroupMemberEvent{Members: []string{"parent-1", "peer-2", "peer-3"}},
+		"group_promote": GroupPromote{Dot: vclock.Dot{Node: "peer-2", Seq: 8},
+			DCIndex: 1, Ts: 44, Stable: vclock.Vector{6, 2, 1}},
+		"group_sync_req": GroupSyncReq{Node: "peer-3", From: 5},
+		"group_sync_ack": GroupSyncAck{From: 5, Entries: []*txn.Transaction{sampleTx()},
+			Stable: vclock.Vector{4, 4, 4}},
+		"group_vis_entry": GroupVisEntry{Index: 9, Tx: sampleTx()},
+		"epaxos_pre_accept": EPaxosPreAccept{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4},
+			Cmd:  EPaxosCommand{ID: "edge-7:42", Keys: []string{"docs/readme"}, Payload: sampleTx()},
+			Deps: []EPaxosInstanceID{{Replica: "peer-2", Slot: 1}}, Seq: 2},
+		"epaxos_pre_accept_ok": EPaxosPreAcceptOK{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4},
+			From: "peer-2", Deps: []EPaxosInstanceID{{Replica: "peer-2", Slot: 1}, {Replica: "peer-3", Slot: 2}},
+			Seq: 3, Changed: true},
+		"epaxos_accept": EPaxosAccept{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4},
+			Cmd:  EPaxosCommand{ID: "edge-7:42", Keys: []string{"docs/readme", "meta/title"}},
+			Deps: []EPaxosInstanceID{{Replica: "peer-3", Slot: 2}}, Seq: 3},
+		"epaxos_accept_ok": EPaxosAcceptOK{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4}, From: "peer-3"},
+		"epaxos_commit": EPaxosCommit{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4},
+			Cmd:  EPaxosCommand{ID: "edge-7:42", Keys: []string{"docs/readme"}, Payload: sampleTx()},
+			Deps: []EPaxosInstanceID{{Replica: "peer-2", Slot: 1}}, Seq: 2},
+		"epaxos_commit_ack": EPaxosCommitAck{Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 4}, From: "peer-2"},
 	}
 }
 
@@ -216,6 +247,11 @@ func TestEncodeNilAndEmpty(t *testing.T) {
 		ReplTx{}, ReplBatch{}, ReplHeartbeat{}, EdgeCommit{}, EdgeCommitAck{},
 		EdgeCommitNack{}, Subscribe{}, SubscribeAck{}, Unsubscribe{},
 		ObjectState{}, FetchObject{}, PushTxs{}, MigratedTxAck{},
+		TreeAssign{}, TreePush{}, TreeAck{},
+		GroupJoinReq{}, GroupJoinAck{}, GroupLeaveReq{}, GroupMemberEvent{},
+		GroupPromote{}, GroupSyncReq{}, GroupSyncAck{}, GroupVisEntry{},
+		EPaxosPreAccept{}, EPaxosPreAcceptOK{}, EPaxosAccept{},
+		EPaxosAcceptOK{}, EPaxosCommit{}, EPaxosCommitAck{},
 	} {
 		b, err := EncodeMessage(nil, zero)
 		if err != nil {
@@ -236,6 +272,18 @@ func TestMigratedTxNotEncodable(t *testing.T) {
 	}
 	if _, err := DecodeMessage([]byte{byte(TagMigratedTx)}); err == nil {
 		t.Fatal("decoding a MigratedTx tag must fail")
+	}
+}
+
+// TestEPaxosPayloadNotEncodable pins the command payload contract: only nil
+// and *txn.Transaction payloads have a wire form.
+func TestEPaxosPayloadNotEncodable(t *testing.T) {
+	msg := EPaxosPreAccept{
+		Inst: EPaxosInstanceID{Replica: "peer-1", Slot: 1},
+		Cmd:  EPaxosCommand{ID: "x", Payload: 42},
+	}
+	if _, err := EncodeMessage(nil, msg); !errors.Is(err, ErrNotEncodable) {
+		t.Fatalf("err = %v, want ErrNotEncodable", err)
 	}
 }
 

@@ -92,6 +92,13 @@ type Subscribe struct {
 	// lost. The subscriber deduplicates any overlap by dot.
 	Resume bool
 	Since  vclock.Vector
+	// Relay declares that this subscriber understands the tree-multicast
+	// frames (TreeAssign/TreePush) and is willing to re-fan-out pushes to
+	// sibling subscribers on the DC's behalf. Edge nodes and group sync
+	// points set it; bare handlers that only speak PushTxs leave it false
+	// and always receive direct frames. The capability is sticky for the
+	// lifetime of the subscription.
+	Relay bool
 }
 
 // SubscribeAck returns materialised base versions for the newly subscribed
@@ -176,6 +183,62 @@ type PushFrame = PushTxs
 // retained reference can alias into the shared backing array.
 func SealPushFrame(from string, txs []*txn.Transaction, stable vclock.Vector) PushFrame {
 	return PushFrame{From: from, Txs: txs[:len(txs):len(txs)], Stable: stable}
+}
+
+// --- tree multicast (paper §3.4: dissemination trees rooted at a DC) ---
+
+// TreeAssign installs (or replaces) a relay subscriber's child table for one
+// interest shard: on receiving a TreePush for (From, Shard) at Epoch, the
+// relay re-fans the frame out to Children. An empty Children demotes the
+// relay. Assigns ride the same FIFO link as the pushes they govern, so a
+// relay always sees the table before the first frame that needs it.
+type TreeAssign struct {
+	From     string // the DC that owns the tree
+	Shard    uint64 // compact per-DC shard id
+	Epoch    uint64 // bumped on every reassignment; stale frames are dropped
+	Children []string
+}
+
+// TreePush is a sealed push frame addressed to a subtree root: the same
+// filtered transaction run and stable cut a PushFrame carries, plus the
+// routing envelope (shard, epoch, sequence) the relay needs to re-fan it out
+// to its children and acknowledge aggregate delivery back to the DC. Leaf
+// children apply it exactly like a PushTxs. The sealed-frame contract of
+// PushFrame applies: neither relays nor leaves may mutate Txs or Stable.
+type TreePush struct {
+	From   string
+	Shard  uint64
+	Epoch  uint64
+	Seq    uint64 // per-subtree FIFO sequence, for ack matching
+	Txs    []*txn.Transaction
+	Stable vclock.Vector
+}
+
+// SealTreeFrame builds a TreePush over an already-filtered transaction run,
+// clipping the slice capacity like SealPushFrame so no retained reference can
+// append into the shared backing array.
+func SealTreeFrame(from string, shard, epoch, seq uint64, txs []*txn.Transaction, stable vclock.Vector) TreePush {
+	return TreePush{From: from, Shard: shard, Epoch: epoch, Seq: seq, Txs: txs[:len(txs):len(txs)], Stable: stable}
+}
+
+// Inner returns the plain push frame a relay (or leaf) applies locally.
+func (p TreePush) Inner() PushTxs {
+	return PushTxs{From: p.From, Txs: p.Txs, Stable: p.Stable}
+}
+
+// TreeAck is the aggregated forwarding receipt a subtree root returns to its
+// DC: Failed lists the children whose forward was locally refused
+// (unreachable, backpressure), and Dropped reports that the relay did not
+// forward at all (its child table was missing or at another epoch). The DC
+// rewinds the named subscribers' delivery cursors so the PR 5 repair path
+// re-covers them with direct frames.
+type TreeAck struct {
+	Node    string // the acking relay
+	Shard   uint64
+	Epoch   uint64
+	Seq     uint64
+	Failed  []string
+	Dropped bool
 }
 
 // TxReader reads an object inside a transaction running at a DC.
