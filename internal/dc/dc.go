@@ -1133,17 +1133,27 @@ func (d *DC) rewindSubLocked(sub *subscription, cut vclock.Vector) {
 	if d.cfg.Inline {
 		return
 	}
-	sub.outMu.Lock()
 	if d.fan != nil {
 		// Sharded: pull the delivery cursor back; the next flush of the
 		// subscriber's shard rebuilds the gap from the log (repair frame).
+		// If the subscriber rides a multicast subtree, bump the tree's ver
+		// first (under the fanout mutex, which guards sub.tree) so any
+		// in-flight tree plan backs off instead of optimistically advancing
+		// the cursor past the replay gap this rewind requests.
+		d.fan.mu.Lock()
+		if sub.tree != nil {
+			sub.tree.ver++
+		}
+		sub.outMu.Lock()
 		if sub.logIdx < sub.deliveredIdx {
 			sub.deliveredIdx = sub.logIdx
 		}
 		sub.sentStable = sub.stable
 		sub.outMu.Unlock()
+		d.fan.mu.Unlock()
 		return
 	}
+	sub.outMu.Lock()
 	d.pushDepth.Add(-int64(len(sub.pending)))
 	sub.pending = nil
 	sub.pendingStable = sub.stable

@@ -350,10 +350,11 @@ func (d *DC) runShardWorker() {
 		for sub := range sh.subs {
 			members = append(members, sub)
 		}
+		hasTrees := len(sh.trees) > 0
 		gen := f.gen.Load()
 		f.mu.Unlock()
 
-		d.flushShard(sh, segs, members, gen)
+		d.flushShard(sh, segs, members, hasTrees, gen)
 
 		f.mu.Lock()
 		sh.inflight = false
@@ -371,7 +372,10 @@ func (d *DC) runShardWorker() {
 // fans it to every member over one SendMulti pass. Members whose delivery
 // cursor is behind the segments (send failure, rewind, rebalancing) are
 // grouped by cursor and each group gets one repair-prefixed frame instead.
-func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, gen uint64) {
+// hasTrees is the worker's under-lock snapshot of len(sh.trees) > 0 —
+// sh.trees itself is guarded by the fanout mutex, which flushShard does not
+// hold (planTreeSends re-snapshots under it).
+func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, hasTrees bool, gen uint64) {
 	total := 0
 	for i := range segs {
 		total += len(segs[i].txs)
@@ -399,7 +403,7 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 	// sealed frame once, via their relay root. Members a tree covers are
 	// skipped by the direct grouping below.
 	var covered map[*subscription]bool
-	if !d.cfg.DirectPush && len(sh.trees) > 0 {
+	if !d.cfg.DirectPush && hasTrees {
 		var plans []treeSend
 		plans, covered = d.planTreeSends(sh, hi, stable, gen)
 		d.sendTrees(sh, plans, segs, starts, filtered, stable, hi, gen)

@@ -48,12 +48,19 @@ import (
 
 // treePending is one outstanding TreePush receipt: the cursor range the send
 // covered, recorded before the send so an ack (or its absence) can rewind
-// precisely. Guarded by the fanout mutex; pendings are FIFO (seq order).
+// precisely. subs and root snapshot the membership the push actually covered
+// — rewinds must target those subscriptions, not the tree's current members,
+// because a member that leaves the tree between the push and the ack (e.g. a
+// signature change moved it to another shard) still owns the optimistically
+// advanced cursor. Guarded by the fanout mutex; pendings are FIFO (seq
+// order).
 type treePending struct {
 	seq    uint64
 	di, hi int
 	gen    uint64
 	at     time.Time
+	subs   []*subscription
+	root   *subscription
 }
 
 // pushTree is one multicast subtree of a shard: a relay root plus children,
@@ -70,11 +77,13 @@ type pushTree struct {
 	// seq numbers TreePush frames on this subtree (ack matching).
 	seq     uint64
 	pending []treePending
-	// ver counts mutations that invalidate an in-flight eligibility scan:
-	// membership or root changes and member-cursor rewinds, all made under
-	// the fanout mutex. planTreeSends snapshots ver, scans member cursors
-	// with the mutex released, and registers receipts only for trees whose
-	// ver is unchanged — a tree that churned or rewound mid-scan simply
+	// ver counts mutations that invalidate an in-flight eligibility scan or
+	// optimistic advance: membership or root changes and member-cursor
+	// rewinds (ack failure, sweeper expiry, resume/reconnect), all made
+	// under the fanout mutex. planTreeSends snapshots ver, scans member
+	// cursors with the mutex released, and registers receipts only for trees
+	// whose ver is unchanged; sendTrees re-checks it before advancing
+	// cursors post-send. A tree that churned or rewound mid-flight simply
 	// falls back to the direct path for that flush.
 	ver uint64
 }
@@ -167,23 +176,31 @@ func (f *fanout) rotateRootLocked(sh *pushShard, tr *pushTree) {
 	tr.ver++
 }
 
-// expirePendingsLocked treats every given pending receipt as failed: all
-// members the sends covered are rewound to the earliest pre-send cursor, and
-// the shard is kicked so the next flush repairs them directly. Called with
-// the fanout mutex held.
+// expirePendingsLocked treats every given pending receipt as failed: the
+// members each send covered (the pending's snapshot — membership may have
+// churned since) are rewound to that send's pre-send cursor, and the shard is
+// kicked so the next flush repairs them directly. Pendings are FIFO, so the
+// `>` guard lands every member on the lowest cursor among the sends that
+// covered it. Called with the fanout mutex held.
 func (f *fanout) expirePendingsLocked(sh *pushShard, tr *pushTree, expired []treePending) {
 	if len(expired) == 0 {
 		return
 	}
 	f.d.obsTreeRepairs.Add(int64(len(expired)))
-	tr.ver++ // cursors rewind below: invalidate any in-flight scan
-	p := expired[0] // FIFO: the first pending has the lowest cursor
-	for _, s := range tr.members {
-		s.outMu.Lock()
-		if s.fanGen == p.gen && s.deliveredIdx > p.di {
-			s.deliveredIdx = p.di
+	tr.ver++ // cursors rewind below: invalidate any in-flight scan or advance
+	for _, p := range expired {
+		for _, s := range p.subs {
+			s.outMu.Lock()
+			if s.fanGen == p.gen && s.deliveredIdx > p.di {
+				s.deliveredIdx = p.di
+			}
+			s.outMu.Unlock()
+			if s.shard != nil && s.shard != sh {
+				// The member moved shards since the push: the repair must
+				// flush where it lives now.
+				f.kickLocked(s.shard)
+			}
 		}
-		s.outMu.Unlock()
 	}
 	f.kickLocked(sh)
 }
@@ -205,6 +222,10 @@ type treeSend struct {
 	seq    uint64
 	epoch  uint64
 	assign *wire.TreeAssign
+	// ver is tr.ver at receipt registration; the post-send optimistic
+	// advance re-checks it under the fanout mutex and backs off when a
+	// rewind or membership change raced the send.
+	ver uint64
 }
 
 // planTreeSends decides which subtrees ride the tree path this flush. A
@@ -303,6 +324,7 @@ func (d *DC) planTreeSends(sh *pushShard, hi int, stable vclock.Vector, gen uint
 			root: tr.root.node,
 			subs: c.members,
 			di:   dis[i],
+			ver:  c.ver,
 		}
 		if tr.dirty {
 			tr.epoch++
@@ -316,7 +338,10 @@ func (d *DC) planTreeSends(sh *pushShard, hi int, stable vclock.Vector, gen uint
 		}
 		tr.seq++
 		plan.seq, plan.epoch = tr.seq, tr.epoch
-		tr.pending = append(tr.pending, treePending{seq: plan.seq, di: plan.di, hi: hi, gen: gen, at: now})
+		tr.pending = append(tr.pending, treePending{
+			seq: plan.seq, di: plan.di, hi: hi, gen: gen, at: now,
+			subs: c.members, root: tr.root,
+		})
 		if covered == nil {
 			covered = make(map[*subscription]bool, len(plan.subs))
 		}
@@ -391,6 +416,18 @@ func (d *DC) sendTrees(sh *pushShard, plans []treeSend, segs []pushSeg, starts [
 			continue
 		}
 		d.obsPushSends.Inc()
+		// Advance optimistically — but only while the tree's ver still
+		// matches registration, and atomically with it (under f.mu): a
+		// rewind that fired since (TreeAck failure for an earlier pending,
+		// sweeper expiry, resume/reconnect) bumped ver, and overwriting its
+		// cursor with hi would permanently skip the replay gap it requested.
+		// Backing off is always safe: cursors stay put, the rewinder's kick
+		// re-covers the members, and the overlap deduplicates by dot.
+		d.fan.mu.Lock()
+		if plan.tr.ver != plan.ver {
+			d.fan.mu.Unlock()
+			continue
+		}
 		for _, sub := range plan.subs {
 			sub.outMu.Lock()
 			if sub.fanGen == gen {
@@ -403,6 +440,7 @@ func (d *DC) sendTrees(sh *pushShard, plans []treeSend, segs []pushSeg, starts [
 			}
 			sub.outMu.Unlock()
 		}
+		d.fan.mu.Unlock()
 	}
 }
 
@@ -463,13 +501,17 @@ func (d *DC) handleTreeAck(m wire.TreeAck) {
 	if matched == nil {
 		return
 	}
+	// Rewind against the membership the pending actually covered, not the
+	// tree's current members: a child that left the tree (or shard) after the
+	// push still owns the optimistically advanced cursor and needs the
+	// repair.
 	var rewind []*subscription
 	if m.Dropped {
 		// The root never forwarded: its child table was missing or stale.
 		// Re-advertise and re-cover every child.
 		tr.dirty = true
-		for _, s := range tr.members {
-			if s != tr.root {
+		for _, s := range matched.subs {
+			if s != matched.root {
 				rewind = append(rewind, s)
 			}
 		}
@@ -478,7 +520,7 @@ func (d *DC) handleTreeAck(m wire.TreeAck) {
 		for _, name := range m.Failed {
 			failed[name] = true
 		}
-		for _, s := range tr.members {
+		for _, s := range matched.subs {
 			if failed[s.node] {
 				rewind = append(rewind, s)
 			}
@@ -488,13 +530,18 @@ func (d *DC) handleTreeAck(m wire.TreeAck) {
 		return
 	}
 	d.obsTreeRepairs.Inc()
-	tr.ver++ // cursors rewind below: invalidate any in-flight scan
+	tr.ver++ // cursors rewind below: invalidate any in-flight scan or advance
 	for _, s := range rewind {
 		s.outMu.Lock()
 		if s.fanGen == matched.gen && s.deliveredIdx > matched.di {
 			s.deliveredIdx = matched.di
 		}
 		s.outMu.Unlock()
+		if s.shard != nil && s.shard != sh {
+			// The member moved shards since the push: the repair must flush
+			// where it lives now.
+			f.kickLocked(s.shard)
+		}
 	}
 	f.kickLocked(sh)
 }

@@ -379,6 +379,160 @@ func TestTreeChurnReRoots(t *testing.T) {
 	}
 }
 
+// TestTreeRewindInvalidatesInFlightPlan: a cursor rewind (resume/reconnect)
+// that lands between a tree plan's registration and sendTrees' optimistic
+// advance must not be overwritten — the rewind bumps the tree's ver, and the
+// advance backs off, leaving the replay gap for the repair path. Regression
+// test: rewindSubLocked used to leave ver untouched, so the advance silently
+// moved the cursor to hi and the rewound range was never replayed.
+func TestTreeRewindInvalidatesInFlightPlan(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, nil)
+	oldCut := d.Stable()
+
+	recs := map[string]*treeRecorder{}
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		r := newTreeRecorder(net, name, true)
+		r.subscribeRelay(t, "dc0", alphaID)
+		recs[name] = r
+	}
+	commitN(t, d, alphaID, 3)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 3 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up pushes never arrived")
+
+	// Register a plan by hand, exactly as a flush would: hi one past the
+	// frontier so every (converged) member is eligible.
+	f := d.fan
+	f.mu.Lock()
+	var sh *pushShard
+	for _, s := range f.shards {
+		sh = s
+	}
+	hi := f.idx + 1
+	stable := f.stable.Clone()
+	f.mu.Unlock()
+	gen := f.gen.Load()
+	plans, covered := d.planTreeSends(sh, hi, stable, gen)
+	if len(plans) != 1 || len(covered) != 3 {
+		t.Fatalf("planTreeSends: %d plans covering %d members, want 1 covering 3", len(plans), len(covered))
+	}
+	plan := plans[0]
+
+	// The racing rewind: a member resumes with an old cut while the plan is
+	// in flight (registered, not yet sent/advanced).
+	var victim string
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		if name != plan.root {
+			victim = name
+			break
+		}
+	}
+	d.mu.Lock()
+	sub := d.subs[victim]
+	d.rewindSubLocked(sub, oldCut)
+	d.mu.Unlock()
+
+	// The send goes through (the root acks), but the advance must back off:
+	// the tree's ver changed under the plan.
+	segs := []pushSeg{{lo: plan.di, hi: hi, stable: stable}}
+	d.sendTrees(sh, plans, segs, []int{0}, nil, stable, hi, gen)
+	sub.outMu.Lock()
+	got := sub.deliveredIdx
+	sub.outMu.Unlock()
+	if got >= hi {
+		t.Fatalf("deliveredIdx = %d after racing rewind, want < %d (advance must back off)", got, hi)
+	}
+}
+
+// TestTreeAckRewindsDepartedMember: a child that leaves the tree between the
+// push and the ack (signature change moved it to another shard) still owns
+// its optimistically advanced cursor; a TreeAck naming it Failed must rewind
+// it from the pending's membership snapshot. Regression test: handleTreeAck
+// used to scan the tree's *current* members and miss departed ones.
+func TestTreeAckRewindsDepartedMember(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	d := singleDC(t, net, nil)
+
+	recs := map[string]*treeRecorder{}
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		r := newTreeRecorder(net, name, true)
+		r.subscribeRelay(t, "dc0", alphaID)
+		recs[name] = r
+	}
+	commitN(t, d, alphaID, 3)
+	waitFor(t, 2*time.Second, func() bool {
+		for _, r := range recs {
+			if r.count("alpha") != 3 {
+				return false
+			}
+		}
+		return true
+	}, "warm-up pushes never arrived")
+
+	f := d.fan
+	f.mu.Lock()
+	var sh *pushShard
+	for _, s := range f.shards {
+		sh = s
+	}
+	shID := sh.id
+	hi := f.idx + 1
+	stable := f.stable.Clone()
+	f.mu.Unlock()
+	gen := f.gen.Load()
+	plans, _ := d.planTreeSends(sh, hi, stable, gen)
+	if len(plans) != 1 {
+		t.Fatalf("planTreeSends: %d plans, want 1", len(plans))
+	}
+	plan := plans[0]
+
+	// Simulate the optimistic advance a successful send performs.
+	for _, s := range plan.subs {
+		s.outMu.Lock()
+		s.deliveredIdx = hi
+		s.outMu.Unlock()
+	}
+
+	// A non-root child widens its interest: the signature change moves it to
+	// another shard and detaches it from the tree — after the push, before
+	// the ack.
+	var victim string
+	for _, name := range []string{"relayA", "relayB", "relayC"} {
+		if name != plan.root {
+			victim = name
+			break
+		}
+	}
+	recs[victim].subscribeRelay(t, "dc0", alphaID, betaID)
+	d.mu.Lock()
+	sub := d.subs[victim]
+	d.mu.Unlock()
+	f.mu.Lock()
+	if sub.tree == plan.tr {
+		f.mu.Unlock()
+		t.Fatal("victim still in the tree — signature change did not detach it")
+	}
+	f.mu.Unlock()
+
+	// The root's ack names the departed child as unreachable: its cursor must
+	// rewind to the pending's pre-send position even though it left the tree.
+	d.handleTreeAck(wire.TreeAck{Node: plan.root, Shard: shID, Epoch: plan.epoch, Seq: plan.seq, Failed: []string{victim}})
+	sub.outMu.Lock()
+	got := sub.deliveredIdx
+	sub.outMu.Unlock()
+	if got >= hi {
+		t.Fatalf("departed child's deliveredIdx = %d, want rewound to %d", got, plan.di)
+	}
+}
+
 // TestTreeDirectPushFlag: the A/B escape hatch restores PR 5 exactly — no
 // trees are built even for relay-capable subscribers, every frame is a
 // direct send, and delivery is unchanged.
