@@ -165,6 +165,14 @@ type subscription struct {
 	shard        *pushShard
 	deliveredIdx int
 	fanGen       uint64
+	// rewinds counts delivery-cursor rewinds (guarded by outMu, bumped even
+	// when the cursor was already at or below the rewind target — the
+	// re-cover intent matters, not the movement). Optimistic advances
+	// snapshot it together with deliveredIdx and back off per subscriber
+	// when it moved: a rewind landing between the cursor scan and the
+	// post-send advance must not be overwritten, or the replay gap it
+	// requested is skipped for good.
+	rewinds uint64
 
 	// relay marks the subscriber as tree-multicast capable (it declared
 	// wire.Subscribe.Relay): it may be grouped into a subtree and asked to
@@ -1148,6 +1156,7 @@ func (d *DC) rewindSubLocked(sub *subscription, cut vclock.Vector) {
 		if sub.logIdx < sub.deliveredIdx {
 			sub.deliveredIdx = sub.logIdx
 		}
+		sub.rewinds++
 		sub.sentStable = sub.stable
 		sub.outMu.Unlock()
 		d.fan.mu.Unlock()

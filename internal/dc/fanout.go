@@ -411,8 +411,15 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 
 	// Group members by delivery cursor; each group shares one sealed frame.
 	// The common case is every member at the segments' first boundary: one
-	// group, one frame.
-	groups := make(map[int][]*subscription, 1)
+	// group, one frame. Each member's rewind counter is snapshotted with its
+	// cursor: the post-send advance backs off when a rewind raced the send
+	// (same protocol as the tree path), so a requested replay gap is never
+	// marked delivered.
+	type groupMember struct {
+		sub *subscription
+		rew uint64
+	}
+	groups := make(map[int][]groupMember, 1)
 	for _, sub := range members {
 		if covered[sub] {
 			continue
@@ -420,6 +427,7 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 		sub.outMu.Lock()
 		ok := sub.fanGen == gen
 		di := sub.deliveredIdx
+		rew := sub.rewinds
 		upToDate := di >= hi && stable.LEQ(sub.sentStable)
 		sub.outMu.Unlock()
 		if !ok || upToDate {
@@ -428,7 +436,7 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 		if di > hi {
 			di = hi
 		}
-		groups[di] = append(groups[di], sub)
+		groups[di] = append(groups[di], groupMember{sub, rew})
 	}
 	for di, subs := range groups {
 		frame, ok := d.shardFrameFor(sh, segs, starts, filtered, stable, di, gen)
@@ -441,17 +449,18 @@ func (d *DC) flushShard(sh *pushShard, segs []pushSeg, members []*subscription, 
 			d.obsFramesShared.Add(int64(len(subs) - 1))
 		}
 		names := make([]string, len(subs))
-		for i, sub := range subs {
-			names[i] = sub.node
+		for i, m := range subs {
+			names[i] = m.sub.node
 		}
 		errs := d.node.SendMulti(names, frame)
 		d.obsPushSends.Add(int64(len(names)))
-		for i, sub := range subs {
+		for i, m := range subs {
 			if errs != nil && errs[i] != nil {
 				continue // unreachable: cursor stays put, a later flush repairs
 			}
+			sub := m.sub
 			sub.outMu.Lock()
-			if sub.fanGen == gen {
+			if sub.fanGen == gen && sub.rewinds == m.rew {
 				if hi > sub.deliveredIdx {
 					sub.deliveredIdx = hi
 				}

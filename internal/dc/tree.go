@@ -77,14 +77,15 @@ type pushTree struct {
 	// seq numbers TreePush frames on this subtree (ack matching).
 	seq     uint64
 	pending []treePending
-	// ver counts mutations that invalidate an in-flight eligibility scan or
-	// optimistic advance: membership or root changes and member-cursor
-	// rewinds (ack failure, sweeper expiry, resume/reconnect), all made
-	// under the fanout mutex. planTreeSends snapshots ver, scans member
-	// cursors with the mutex released, and registers receipts only for trees
-	// whose ver is unchanged; sendTrees re-checks it before advancing
-	// cursors post-send. A tree that churned or rewound mid-flight simply
-	// falls back to the direct path for that flush.
+	// ver counts mutations that invalidate an in-flight eligibility scan:
+	// membership or root changes and member-cursor rewinds (ack failure,
+	// sweeper expiry, resume/reconnect), all made under the fanout mutex.
+	// planTreeSends snapshots ver, scans member cursors with the mutex
+	// released, and registers receipts only for trees whose ver is unchanged
+	// — a tree that churned or rewound mid-scan simply falls back to the
+	// direct path for that flush. Rewinds racing the window *after*
+	// registration are caught per member by subscription.rewinds, which the
+	// post-send advance re-checks under outMu.
 	ver uint64
 }
 
@@ -191,8 +192,11 @@ func (f *fanout) expirePendingsLocked(sh *pushShard, tr *pushTree, expired []tre
 	for _, p := range expired {
 		for _, s := range p.subs {
 			s.outMu.Lock()
-			if s.fanGen == p.gen && s.deliveredIdx > p.di {
-				s.deliveredIdx = p.di
+			if s.fanGen == p.gen {
+				if s.deliveredIdx > p.di {
+					s.deliveredIdx = p.di
+				}
+				s.rewinds++
 			}
 			s.outMu.Unlock()
 			if s.shard != nil && s.shard != sh {
@@ -222,10 +226,10 @@ type treeSend struct {
 	seq    uint64
 	epoch  uint64
 	assign *wire.TreeAssign
-	// ver is tr.ver at receipt registration; the post-send optimistic
-	// advance re-checks it under the fanout mutex and backs off when a
-	// rewind or membership change raced the send.
-	ver uint64
+	// rew[i] is subs[i].rewinds at the eligibility scan; the post-send
+	// optimistic advance re-checks it under each member's outMu and backs
+	// off (per subscriber) when a rewind raced the send.
+	rew []uint64
 }
 
 // planTreeSends decides which subtrees ride the tree path this flush. A
@@ -272,15 +276,20 @@ func (d *DC) planTreeSends(sh *pushShard, hi int, stable vclock.Vector, gen uint
 		return nil, nil
 	}
 
-	// Phase 2: eligibility scan without f.mu.
+	// Phase 2: eligibility scan without f.mu. Each member's rewind counter
+	// is snapshotted with its cursor so the post-send advance can detect a
+	// rewind that races the send.
 	dis := make([]int, len(cands))
+	rews := make([][]uint64, len(cands))
 	eligible := make([]candidate, 0, len(cands))
 	for _, c := range cands {
 		di, ok := -1, true
-		for _, sub := range c.members {
+		rew := make([]uint64, len(c.members))
+		for j, sub := range c.members {
 			sub.outMu.Lock()
 			genOK := sub.fanGen == gen
 			sdi := sub.deliveredIdx
+			rew[j] = sub.rewinds
 			upToDate := sdi >= hi && stable.LEQ(sub.sentStable)
 			sub.outMu.Unlock()
 			if !genOK || upToDate {
@@ -301,6 +310,7 @@ func (d *DC) planTreeSends(sh *pushShard, hi int, stable vclock.Vector, gen uint
 			continue
 		}
 		dis[len(eligible)] = di
+		rews[len(eligible)] = rew
 		eligible = append(eligible, c)
 	}
 	if len(eligible) == 0 {
@@ -324,7 +334,7 @@ func (d *DC) planTreeSends(sh *pushShard, hi int, stable vclock.Vector, gen uint
 			root: tr.root.node,
 			subs: c.members,
 			di:   dis[i],
-			ver:  c.ver,
+			rew:  rews[i],
 		}
 		if tr.dirty {
 			tr.epoch++
@@ -416,21 +426,18 @@ func (d *DC) sendTrees(sh *pushShard, plans []treeSend, segs []pushSeg, starts [
 			continue
 		}
 		d.obsPushSends.Inc()
-		// Advance optimistically — but only while the tree's ver still
-		// matches registration, and atomically with it (under f.mu): a
-		// rewind that fired since (TreeAck failure for an earlier pending,
-		// sweeper expiry, resume/reconnect) bumped ver, and overwriting its
-		// cursor with hi would permanently skip the replay gap it requested.
-		// Backing off is always safe: cursors stay put, the rewinder's kick
-		// re-covers the members, and the overlap deduplicates by dot.
-		d.fan.mu.Lock()
-		if plan.tr.ver != plan.ver {
-			d.fan.mu.Unlock()
-			continue
-		}
-		for _, sub := range plan.subs {
+		// Advance optimistically — but only members whose rewind counter
+		// still matches the eligibility scan: a rewind that fired since
+		// (TreeAck failure for an earlier pending, sweeper expiry,
+		// resume/reconnect) bumped it, and overwriting its cursor with hi
+		// would permanently skip the replay gap it requested. The check and
+		// the advance share the member's outMu, so they are atomic against
+		// every rewinder; no hot-path fanout-mutex acquisition. Backing off
+		// is always safe: the cursor stays put, the rewinder's kick
+		// re-covers the member, and the overlap deduplicates by dot.
+		for j, sub := range plan.subs {
 			sub.outMu.Lock()
-			if sub.fanGen == gen {
+			if sub.fanGen == gen && sub.rewinds == plan.rew[j] {
 				if hi > sub.deliveredIdx {
 					sub.deliveredIdx = hi
 				}
@@ -440,7 +447,6 @@ func (d *DC) sendTrees(sh *pushShard, plans []treeSend, segs []pushSeg, starts [
 			}
 			sub.outMu.Unlock()
 		}
-		d.fan.mu.Unlock()
 	}
 }
 
@@ -533,8 +539,14 @@ func (d *DC) handleTreeAck(m wire.TreeAck) {
 	tr.ver++ // cursors rewind below: invalidate any in-flight scan or advance
 	for _, s := range rewind {
 		s.outMu.Lock()
-		if s.fanGen == matched.gen && s.deliveredIdx > matched.di {
-			s.deliveredIdx = matched.di
+		if s.fanGen == matched.gen {
+			if s.deliveredIdx > matched.di {
+				s.deliveredIdx = matched.di
+			}
+			// Bumped even when the cursor had not advanced yet (the ack beat
+			// the optimistic advance): the pending advance must still back
+			// off, or it would mark the failed range delivered.
+			s.rewinds++
 		}
 		s.outMu.Unlock()
 		if s.shard != nil && s.shard != sh {
