@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout bench-net bench-tree
+.PHONY: all build test test-race vet check ci bench-store bench-vclock bench-fig4 bench-obs bench-pipeline bench-crdt bench-fanout bench-net bench-tree bench-partial
 
 all: check
 
@@ -18,11 +18,11 @@ test:
 # ≥8-committer convergence test — the interest-sharded push fan-out with its
 # multicast trees (relay crash/repair tests), simnet's pooled
 # multi-destination scheduler, the TCP mesh's refcounted frame buffers,
-# corked per-conn loops and pending-call table, and the peer-group /
-# EPaxos-style quorum machinery); run them under the race detector on every
-# check.
+# corked per-conn loops and pending-call table, the replication mesh's
+# per-bucket interest/stability vectors, and the peer-group / EPaxos-style
+# quorum machinery); run them under the race detector on every check.
 test-race:
-	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet ./internal/transport ./internal/transport/tcp ./internal/wire ./internal/bin ./internal/group ./internal/epaxos
+	$(GO) test -race ./internal/crdt ./internal/store ./internal/dc ./internal/edge ./internal/obs ./internal/wal ./internal/simnet ./internal/transport ./internal/transport/tcp ./internal/wire ./internal/bin ./internal/group ./internal/epaxos ./internal/replication
 
 vet:
 	$(GO) vet ./...
@@ -91,3 +91,14 @@ bench-net:
 # delivered tx/s within 20% of direct, and zero violations in both modes.
 bench-tree:
 	$(GO) run ./cmd/colony-bench tree
+
+# A/B of the replication scope: full mesh (every DC receives every payload)
+# vs interest-scoped partial replication (per-bucket replication vectors,
+# payload-stripped stubs for unwanted buckets, on-demand backfill) at
+# 64/512/4096-bucket universes with a shared Zipf hot set and per-DC cold
+# thirds. Records the comparison to BENCH_partial.json at the repo root;
+# acceptance requires >=5x fewer WAN units at 4096 buckets, per-DC residency
+# proportional to the interest share, tx/s within 10% of full, and zero
+# convergence violations in both modes.
+bench-partial:
+	$(GO) run ./cmd/colony-bench partial

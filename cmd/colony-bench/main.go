@@ -9,8 +9,10 @@
 //	colony-bench ablations # K-stability / commit-variant / group-size / cache
 //	colony-bench fanout    # push fan-out A/B at 1k/10k/100k subscribers
 //	colony-bench tree      # tree-multicast vs direct-sharded A/B (DC egress)
-//	colony-bench all       # everything, in order (fanout/tree excluded: run
-//	                       # them explicitly or via make bench-fanout / bench-tree)
+//	colony-bench partial   # full vs interest-scoped replication A/B (WAN units)
+//	colony-bench all       # everything, in order (fanout/tree/partial excluded:
+//	                       # run them explicitly or via make bench-fanout /
+//	                       # bench-tree / bench-partial)
 //
 // Output is printed as aligned tables plus CSV blocks that plot directly.
 // --scale accelerates the modelled network (0.1 = 10× faster than the
@@ -55,6 +57,10 @@ func run(args []string) error {
 		treeSizes  = fs.String("tree-sizes", "1000,10000,100000", "comma-separated subscriber populations for the tree A/B")
 		treeDeg    = fs.Int("tree-degree", 16, "children per subtree root")
 		treeOut    = fs.String("tree-out", "BENCH_tree.json", "output file for the tree A/B record")
+		partSizes  = fs.String("partial-buckets", "64,512,4096", "comma-separated bucket universes for the partial-replication A/B")
+		partTxs    = fs.Int("partial-commits", 6000, "transactions committed per partial run")
+		partOut    = fs.String("partial-out", "BENCH_partial.json", "output file for the partial-replication A/B record")
+		fullRepl   = fs.Bool("fullrepl", false, "partial: run only the full-replication baseline (no A/B, no acceptance checks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +75,8 @@ func run(args []string) error {
 		*duration = 20 * time.Second
 		*fanSizes = "500,2000"
 		*treeSizes = "500,2000"
+		*partSizes = "64,512"
+		*partTxs = 1500
 	}
 
 	progress := func(msg string) { fmt.Fprintf(os.Stderr, "… %s\n", msg) }
@@ -121,6 +129,8 @@ func run(args []string) error {
 		return runFanout(*fanSizes, *fanCommits, *fanOut, *seed, progress)
 	case "tree":
 		return runTree(*treeSizes, *fanCommits, *treeDeg, *treeOut, *seed, progress)
+	case "partial":
+		return runPartial(*partSizes, *partTxs, *partOut, *fullRepl, *seed, progress)
 	case "claims", "all":
 		pts, err := bench.RunFig4(fig4cfg, progress)
 		if err != nil {
@@ -148,7 +158,7 @@ func run(args []string) error {
 		}
 		printClaims(bench.DeriveClaims(fig4, fig5))
 	default:
-		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|fanout|tree|all)", cmd)
+		return fmt.Errorf("unknown command %q (fig4|fig5|fig6|fig7|claims|ablations|fanout|tree|partial|all)", cmd)
 	}
 	return nil
 }
@@ -430,6 +440,161 @@ func runTree(sizesCSV string, commits, degree int, outPath string, seed int64, p
 	if last.ThroughputRatio < 0.8 {
 		return fmt.Errorf("tree: delivered-txs/s ratio %.2f at %d subscribers, acceptance requires >=0.8",
 			last.ThroughputRatio, last.Subscribers)
+	}
+	return nil
+}
+
+// partialRun is one bucket-universe point of the recorded partial-replication
+// A/B.
+type partialRun struct {
+	Buckets int                 `json:"buckets"`
+	Full    bench.PartialResult `json:"full"`
+	Partial bench.PartialResult `json:"partial"`
+	// WANReduction is full over partial on simnet sent units (higher = more
+	// replication payload replaced by metadata stubs).
+	WANReduction float64 `json:"wan_reduction"`
+	// ThroughputRatio is partial over full on commit tx/s; acceptance
+	// requires >= 0.9 (within 10% of full replication).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+}
+
+// runPartial records the full-replication vs interest-scoped (partial)
+// replication A/B (DESIGN.md §4h) to outPath. Acceptance: zero convergence
+// violations in both modes, ≥5× fewer WAN units for partial mode at the
+// largest bucket universe, per-DC residency proportional to the interest
+// share, and partial-mode tx/s within 10% of full. With -fullrepl only the
+// full baseline runs (no A/B record, no acceptance checks).
+func runPartial(sizesCSV string, commits int, outPath string, fullOnly bool, seed int64, progress func(string)) error {
+	var sizes []int
+	for _, f := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -partial-buckets entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+
+	// Simnet benches are wall-clock paced, so single runs are noisy; take
+	// the best of two attempts per mode (slowdowns from machine load are
+	// one-sided, violations are checked on every attempt).
+	best := func(cfg bench.PartialConfig) (bench.PartialResult, error) {
+		r1, err := bench.RunPartial(cfg, progress)
+		if err != nil {
+			return r1, err
+		}
+		r2, err := bench.RunPartial(cfg, progress)
+		if err != nil {
+			return r2, err
+		}
+		if r1.Violations+r2.Violations > 0 {
+			r1.Violations += r2.Violations
+			return r1, nil
+		}
+		if r2.TxPerSec > r1.TxPerSec {
+			return r2, nil
+		}
+		return r1, nil
+	}
+
+	if fullOnly {
+		fmt.Println("\n== Full-replication baseline only (-fullrepl) ==")
+		for _, size := range sizes {
+			r, err := best(bench.PartialConfig{Buckets: size, Commits: commits, Full: true, Seed: seed})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d buckets: %d WAN units, %.0f tx/s, %d violations\n",
+				size, r.WANUnits, r.TxPerSec, r.Violations)
+		}
+		return nil
+	}
+
+	var runs []partialRun
+	for _, size := range sizes {
+		cfg := bench.PartialConfig{Buckets: size, Commits: commits, Seed: seed}
+		cfg.Full = true
+		full, err := best(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Full = false
+		part, err := best(cfg)
+		if err != nil {
+			return err
+		}
+		run := partialRun{Buckets: size, Full: full, Partial: part}
+		if part.WANUnits > 0 {
+			run.WANReduction = float64(full.WANUnits) / float64(part.WANUnits)
+		}
+		if full.TxPerSec > 0 {
+			run.ThroughputRatio = part.TxPerSec / full.TxPerSec
+		}
+		runs = append(runs, run)
+	}
+
+	fmt.Println("\n== Partial replication A/B — full mesh vs interest-scoped (3 DCs, Zipf interest) ==")
+	fmt.Printf("%8s %12s %12s %9s %10s %10s %12s %12s %8s\n",
+		"buckets", "full(wan)", "part(wan)", "reduct", "stubs", "resident", "full(tx/s)", "part(tx/s)", "ratio")
+	for _, r := range runs {
+		resident := 0
+		for _, s := range r.Partial.PerDC {
+			resident += s.ResidentBuckets
+		}
+		fmt.Printf("%8d %12d %12d %8.1fx %10d %10d %12.0f %12.0f %8.2f\n",
+			r.Buckets, r.Full.WANUnits, r.Partial.WANUnits, r.WANReduction,
+			r.Partial.ReplStubTxs, resident, r.Full.TxPerSec, r.Partial.TxPerSec, r.ThroughputRatio)
+	}
+
+	out := struct {
+		Generated string `json:"generated"`
+		Bench     string `json:"bench"`
+		Config    struct {
+			Commits int     `json:"commits"`
+			ZipfS   float64 `json:"zipf_s"`
+			DCs     int     `json:"dcs"`
+			K       int     `json:"k"`
+		} `json:"config"`
+		Runs []partialRun `json:"runs"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Bench:     "partial replication A/B: 3 DCs, shared Zipf hot set + per-DC cold thirds, full mesh baseline vs interest-scoped stubs (WAN units = payload txs the simnet carried; stub-only frames count 1)",
+		Runs:      runs,
+	}
+	out.Config.Commits = commits
+	out.Config.ZipfS = 1.2
+	out.Config.DCs = 3
+	out.Config.K = 2
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+
+	for _, r := range runs {
+		if v := r.Full.Violations + r.Partial.Violations; v > 0 {
+			return fmt.Errorf("partial: %d convergence violations at %d buckets", v, r.Buckets)
+		}
+	}
+	last := runs[len(runs)-1]
+	if last.WANReduction < 5 {
+		return fmt.Errorf("partial: WAN-unit reduction %.2fx at %d buckets, acceptance requires >=5x",
+			last.WANReduction, last.Buckets)
+	}
+	if last.ThroughputRatio < 0.9 {
+		return fmt.Errorf("partial: tx/s ratio %.2f at %d buckets, acceptance requires >=0.9",
+			last.ThroughputRatio, last.Buckets)
+	}
+	// Residency proportionality: each DC's resident bucket count must stay
+	// within 2× its interest set (on-demand backfills can add a few).
+	for _, s := range last.Partial.PerDC {
+		if s.ResidentBuckets > 2*s.InterestBuckets {
+			return fmt.Errorf("partial: dc%d resident %d buckets vs %d interest at %d buckets universe",
+				s.DC, s.ResidentBuckets, s.InterestBuckets, last.Buckets)
+		}
 	}
 	return nil
 }

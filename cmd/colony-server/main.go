@@ -68,6 +68,8 @@ func run(args []string) error {
 		persub  = fs.Bool("persub", false, "per-subscriber push fan-out instead of interest shards (A/B baseline)")
 		direct  = fs.Bool("directpush", false, "push to every subscriber directly instead of via multicast trees (A/B baseline)")
 		treedeg = fs.Int("treedeg", 0, "children per relay in the push multicast trees (0 = default 16)")
+		partial = fs.Bool("partial", false, "interest-scoped replication: DCs hold only subscribed buckets, stub the rest, backfill on demand")
+		buckets = fs.String("buckets", "", "comma-separated boot-time bucket interest set (with -partial; empty = acquire on demand)")
 
 		listen   = fs.String("listen", "", "TCP mesh listen address; switches to multi-process mode (one real DC per process)")
 		peersF   = fs.String("peers", "", "comma-separated dcN=host:port pairs for the other DCs (mesh mode)")
@@ -79,6 +81,15 @@ func run(args []string) error {
 		return err
 	}
 
+	var bootBuckets []string
+	if *buckets != "" {
+		for _, b := range strings.Split(*buckets, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bootBuckets = append(bootBuckets, b)
+			}
+		}
+	}
+
 	if *listen != "" {
 		return runMesh(meshOptions{
 			listen: *listen, peers: *peersF, index: *index,
@@ -86,11 +97,11 @@ func run(args []string) error {
 			metrics: *metrics, every: *every, datadir: *datadir,
 			syncWrites: *syncw, inline: *inline, perSub: *persub,
 			directPush: *direct, treeDegree: *treedeg, flushDelay: *cork,
-			autoAdvance: *adv,
+			autoAdvance: *adv, partial: *partial, buckets: bootBuckets,
 		})
 	}
 
-	cluster, err := core.NewCluster(core.ClusterConfig{
+	clusterCfg := core.ClusterConfig{
 		DCs: *dcs, ShardsPerDC: *shards, K: *k,
 		Profile: core.PaperProfile(), Scale: *scale,
 		DenyByDefault:        *deny,
@@ -101,7 +112,15 @@ func run(args []string) error {
 		PerSubscriberPush:    *persub,
 		DirectPush:           *direct,
 		TreeDegree:           *treedeg,
-	})
+		PartialRepl:          *partial,
+	}
+	if *partial && len(bootBuckets) > 0 {
+		clusterCfg.DCBuckets = make(map[int][]string, *dcs)
+		for i := 0; i < *dcs; i++ {
+			clusterCfg.DCBuckets[i] = bootBuckets
+		}
+	}
+	cluster, err := core.NewCluster(clusterCfg)
 	if err != nil {
 		return err
 	}
@@ -206,6 +225,8 @@ type meshOptions struct {
 	treeDegree  int
 	flushDelay  time.Duration
 	autoAdvance int
+	partial     bool
+	buckets     []string
 }
 
 // meshCounterID is the well-known object the -workload driver increments;
@@ -265,6 +286,8 @@ func runMesh(o meshOptions) error {
 		PerSubscriberPush:    o.perSub,
 		DirectPush:           o.directPush,
 		TreeDegree:           o.treeDegree,
+		PartialRepl:          o.partial,
+		Buckets:              o.buckets,
 		AutoAdvanceThreshold: o.autoAdvance,
 	})
 	if err != nil {

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colony/internal/crdt"
+	"colony/internal/dc"
+	"colony/internal/obs"
+	"colony/internal/simnet"
+	"colony/internal/txn"
+)
+
+// The partial benchmark measures the WAN and residency cost of full-mesh
+// replication against interest-scoped (partial) replication (ROADMAP item 4)
+// on the same workload. Three DCs each own one third of a cold bucket range
+// and share a small hot set — the collaboration shape partial replication
+// targets: most buckets matter to one site, a few matter everywhere. Commits
+// are ~10% hot (Zipf within the hot set) and ~90% against the committing
+// DC's own cold third (Zipf within it), so under full replication every
+// cold commit still crosses the WAN twice, while under partial replication
+// it ships as metadata stubs only.
+//
+// Reported axes: WAN units (simnet sent units — ReplBatch counts payload
+// transactions, a stub-only batch counts 1), per-DC resident footprint
+// (buckets, objects, state bytes — proportionality to the interest share is
+// the acceptance criterion), commit throughput (must stay within noise of
+// full replication), and convergence violations (every DC must read the
+// exact expected counter total for every bucket it holds; must be 0).
+
+// PartialConfig parameterises one partial-replication benchmark run.
+type PartialConfig struct {
+	// Buckets is the bucket universe (hot set = max(4, Buckets/64), the rest
+	// cold, split evenly across the 3 DCs).
+	Buckets int
+	// Commits is the total number of transactions, split across the DCs.
+	Commits int
+	// ZipfS is the skew within the hot and cold ranges (must be > 1;
+	// default 1.2).
+	ZipfS float64
+	// Full selects the full-replication baseline (PartialRepl off).
+	Full bool
+	// Seed fixes the workload so both modes replay identical commit streams.
+	Seed int64
+}
+
+// PartialDCStat is one DC's residency snapshot at the end of a run.
+type PartialDCStat struct {
+	DC              int     `json:"dc"`
+	InterestBuckets int     `json:"interest_buckets"`
+	InterestShare   float64 `json:"interest_share"`
+	ResidentBuckets int     `json:"resident_buckets"`
+	ResidentObjects int     `json:"resident_objects"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+}
+
+// PartialResult is one side of the recorded A/B comparison.
+type PartialResult struct {
+	Mode      string  `json:"mode"`
+	Buckets   int     `json:"buckets"`
+	HotSet    int     `json:"hot_set"`
+	Commits   int     `json:"commits"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	TxPerSec  float64 `json:"tx_per_sec"`
+	// WANUnits is every logical unit the simnet carried between the DCs:
+	// payload transactions count individually, a stub-only or empty frame
+	// counts one.
+	WANUnits int64 `json:"wan_units"`
+	// ReplPayloadTxs / ReplStubTxs split the replicated stream into full
+	// transactions and metadata stubs (dc.repl_full_txs / dc.repl_stub_txs).
+	ReplPayloadTxs int64 `json:"repl_payload_txs"`
+	ReplStubTxs    int64 `json:"repl_stub_txs"`
+	SkippedBuckets int64 `json:"repl_skipped_buckets"`
+	Backfills      int64 `json:"backfills"`
+	// Violations counts buckets whose converged counter total differed from
+	// the expected commit count; acceptance requires zero in both modes.
+	Violations int64           `json:"violations"`
+	PerDC      []PartialDCStat `json:"per_dc"`
+}
+
+// RunPartial executes one partial benchmark run.
+func RunPartial(cfg PartialConfig, progress func(string)) (PartialResult, error) {
+	const numDCs = 3
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.Commits <= 0 {
+		cfg.Commits = 6000
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if progress == nil {
+		progress = func(string) {}
+	}
+	mode := "partial"
+	if cfg.Full {
+		mode = "full"
+	}
+	hot := cfg.Buckets / 64
+	if hot < 4 {
+		hot = 4
+	}
+	if hot > cfg.Buckets {
+		hot = cfg.Buckets
+	}
+	res := PartialResult{Mode: mode, Buckets: cfg.Buckets, HotSet: hot, Commits: cfg.Commits}
+
+	// Interest sets: every DC wants the hot buckets; cold bucket j (j ≥ hot)
+	// belongs to DC (j-hot)%3 only.
+	interest := make([][]string, numDCs)
+	interestSet := make([]map[string]bool, numDCs)
+	for i := range interest {
+		interestSet[i] = make(map[string]bool)
+		for b := 0; b < hot; b++ {
+			interest[i] = append(interest[i], bucketName(b))
+			interestSet[i][bucketName(b)] = true
+		}
+	}
+	coldOf := make([][]int, numDCs)
+	for j := hot; j < cfg.Buckets; j++ {
+		owner := (j - hot) % numDCs
+		coldOf[owner] = append(coldOf[owner], j)
+		interest[owner] = append(interest[owner], bucketName(j))
+		interestSet[owner][bucketName(j)] = true
+	}
+
+	// The commit stream is drawn up front from one seeded source so both
+	// modes replay the identical workload: commit i runs at DC i%3 and
+	// targets either a hot bucket (10%, Zipf within the hot set) or one of
+	// that DC's own cold buckets (Zipf within its third).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hzipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(hot-1))
+	czipf := make([]*rand.Zipf, numDCs)
+	for i := range czipf {
+		if len(coldOf[i]) > 0 {
+			czipf[i] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(coldOf[i])-1))
+		}
+	}
+	perDC := make([][]int, numDCs) // DC → bucket index per commit
+	expected := make(map[int]int64) // bucket index → expected counter total
+	for i := 0; i < cfg.Commits; i++ {
+		at := i % numDCs
+		var b int
+		if czipf[at] == nil || rng.Float64() < 0.1 {
+			b = int(hzipf.Uint64())
+		} else {
+			b = coldOf[at][czipf[at].Uint64()]
+		}
+		perDC[at] = append(perDC[at], b)
+		expected[b]++
+	}
+
+	reg := obs.New()
+	net := simnet.New(simnet.Config{Seed: cfg.Seed, Obs: reg})
+	defer net.Close()
+	peers := make(map[int]string, numDCs)
+	for i := 0; i < numDCs; i++ {
+		peers[i] = fmt.Sprintf("dc%d", i)
+	}
+	dcs := make([]*dc.DC, numDCs)
+	for i := 0; i < numDCs; i++ {
+		dcCfg := dc.Config{
+			Index: i, Name: peers[i], NumDCs: numDCs, Shards: 2, K: 2,
+			// Heartbeats drive anti-entropy and stability during the
+			// convergence wait; identical in both modes.
+			Heartbeat: 5 * time.Millisecond,
+			Obs:       reg,
+		}
+		if !cfg.Full {
+			dcCfg.PartialRepl = true
+			dcCfg.Buckets = interest[i]
+		}
+		d, err := dc.New(net.Transport(), dcCfg)
+		if err != nil {
+			return res, err
+		}
+		defer d.Close()
+		dcs[i] = d
+	}
+	for _, d := range dcs {
+		d.SetPeers(peers)
+	}
+	// Partial mode: wait for the first BucketVec gossip round so every DC
+	// knows its peers' interest before traffic is measured (until then
+	// replication conservatively ships full payloads).
+	for _, d := range dcs {
+		for !d.ScopesKnown() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	progress(fmt.Sprintf("%s: %d buckets (%d hot), committing %d txs across %d DCs", mode, cfg.Buckets, hot, cfg.Commits, numDCs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make([]atomic.Int64, numDCs)
+	var commitErr atomic.Value
+	const committersPerDC = 2
+	for at := 0; at < numDCs; at++ {
+		for c := 0; c < committersPerDC; c++ {
+			wg.Add(1)
+			go func(at, c int) {
+				defer wg.Done()
+				actor := fmt.Sprintf("bench-dc%d-c%d", at, c)
+				for {
+					i := int(next[at].Add(1)) - 1
+					if i >= len(perDC[at]) {
+						return
+					}
+					tx := dcs[at].Begin(actor)
+					id := txn.ObjectID{Bucket: bucketName(perDC[at][i]), Key: "k"}
+					tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+					if _, err := tx.Commit(); err != nil {
+						commitErr.Store(fmt.Errorf("commit at dc%d: %w", at, err))
+						return
+					}
+				}
+			}(at, c)
+		}
+	}
+	wg.Wait()
+	if err, _ := commitErr.Load().(error); err != nil {
+		return res, err
+	}
+	elapsed := time.Since(start)
+	res.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	res.TxPerSec = float64(cfg.Commits) / elapsed.Seconds()
+
+	// Convergence: every DC must read the exact expected total for every
+	// bucket in its interest set. Hot buckets need cross-DC replication to
+	// finish; cold buckets are written only by their owner.
+	progress(fmt.Sprintf("%s: converging %d interest buckets per DC", mode, len(interest[0])))
+	counterAt := func(d *dc.DC, b int) int64 {
+		obj, err := d.ReadAt(txn.ObjectID{Bucket: bucketName(b), Key: "k"}, d.State())
+		if err != nil {
+			return -1
+		}
+		v, _ := obj.Value().(int64)
+		return v
+	}
+	bucketsOfDC := func(i int) []int {
+		out := make([]int, 0, hot+len(coldOf[i]))
+		for b := 0; b < hot; b++ {
+			out = append(out, b)
+		}
+		return append(out, coldOf[i]...)
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for i := 0; i < numDCs; i++ {
+		for _, b := range bucketsOfDC(i) {
+			want := expected[b]
+			if want == 0 {
+				continue
+			}
+			for counterAt(dcs[i], b) != want {
+				if time.Now().After(deadline) {
+					res.Violations++
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	if res.Violations > 0 {
+		return res, fmt.Errorf("%s: %d buckets failed to converge", mode, res.Violations)
+	}
+
+	for i := 0; i < numDCs; i++ {
+		rb, ro, by := dcs[i].ResidentStats()
+		res.PerDC = append(res.PerDC, PartialDCStat{
+			DC:              i,
+			InterestBuckets: len(interest[i]),
+			InterestShare:   float64(len(interest[i])) / float64(cfg.Buckets),
+			ResidentBuckets: rb,
+			ResidentObjects: ro,
+			ResidentBytes:   by,
+		})
+	}
+	snap := reg.Snapshot()
+	res.WANUnits = snap.Counters["net.sent_units"]
+	res.ReplPayloadTxs = snap.Counters["dc.repl_full_txs"]
+	res.ReplStubTxs = snap.Counters["dc.repl_stub_txs"]
+	res.SkippedBuckets = snap.Counters["dc.repl_skipped_buckets"]
+	res.Backfills = snap.Counters["dc.backfills"]
+	return res, nil
+}

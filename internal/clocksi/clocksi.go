@@ -175,6 +175,44 @@ func (s *Shard) Advance(cut vclock.Vector, keepDots bool) error {
 // before the shard starts serving.
 func (s *Shard) SetAutoAdvance(p store.AdvancePolicy) { s.store.SetAutoAdvance(p) }
 
+// SetResident installs the store's bucket residency filter; call before the
+// shard starts serving.
+func (s *Shard) SetResident(f func(bucket string) bool) { s.store.SetResident(f) }
+
+// AdvanceBuckets folds journals at per-bucket cuts (partial replication).
+func (s *Shard) AdvanceBuckets(cutFor func(bucket string) vclock.Vector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.AdvanceBuckets(cutFor)
+}
+
+// Seed installs a pre-materialised base version for an object (backfill).
+func (s *Shard) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded ...vclock.Dot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Seed(id, base, at, folded...)
+}
+
+// EvictBucket drops every object of one bucket from the shard's store,
+// returning the number of objects dropped.
+func (s *Shard) EvictBucket(bucket string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.EvictBucket(bucket)
+}
+
+// ObjectsInBucket lists the shard's resident objects of one bucket.
+func (s *Shard) ObjectsInBucket(bucket string) []txn.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.ObjectsInBucket(bucket)
+}
+
+// ResidentStats reports the shard store's resident footprint.
+func (s *Shard) ResidentStats() (buckets, objects int, bytes int64) {
+	return s.store.ResidentStats()
+}
+
 // SetObs attaches the deployment's observability registry to the shard's
 // store; call before the shard starts serving.
 func (s *Shard) SetObs(r *obs.Registry) { s.store.SetObs(r) }
@@ -299,6 +337,64 @@ func (c *Coordinator) SetAutoAdvance(p store.AdvancePolicy) {
 	for _, s := range c.shards {
 		s.SetAutoAdvance(p)
 	}
+}
+
+// SetResident installs the bucket residency filter on every shard; call
+// before the DC starts serving.
+func (c *Coordinator) SetResident(f func(bucket string) bool) {
+	for _, s := range c.shards {
+		s.SetResident(f)
+	}
+}
+
+// AdvanceBuckets folds journals at per-bucket cuts on every shard.
+func (c *Coordinator) AdvanceBuckets(cutFor func(bucket string) vclock.Vector) error {
+	for _, s := range c.shards {
+		if err := s.AdvanceBuckets(cutFor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seed routes a pre-materialised base version to the responsible shard
+// (bucket backfill).
+func (c *Coordinator) Seed(id txn.ObjectID, base crdt.Object, at vclock.Vector, folded ...vclock.Dot) {
+	c.Shard(id).Seed(id, base, at, folded...)
+}
+
+// EvictBucket drops one bucket's objects from every shard, returning the
+// total number of objects dropped.
+func (c *Coordinator) EvictBucket(bucket string) int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.EvictBucket(bucket)
+	}
+	return n
+}
+
+// ObjectsInBucket lists the resident objects of one bucket across the shards.
+func (c *Coordinator) ObjectsInBucket(bucket string) []txn.ObjectID {
+	var out []txn.ObjectID
+	for _, s := range c.shards {
+		out = append(out, s.ObjectsInBucket(bucket)...)
+	}
+	return out
+}
+
+// ResidentStats reports the DC's resident footprint summed over the shards
+// (buckets is the maximum of per-shard distinct-bucket counts a caller
+// should not rely on; the DC reports its live bucket count itself).
+func (c *Coordinator) ResidentStats() (buckets, objects int, bytes int64) {
+	for _, s := range c.shards {
+		b, o, by := s.ResidentStats()
+		if b > buckets {
+			buckets = b
+		}
+		objects += o
+		bytes += by
+	}
+	return buckets, objects, bytes
 }
 
 // SetObs attaches the deployment's observability registry to every shard's

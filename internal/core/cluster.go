@@ -96,6 +96,18 @@ type ClusterConfig struct {
 	// TreeDegree bounds the children per relay in the multicast trees
 	// (default 16, see dc.Config).
 	TreeDegree int
+	// PartialRepl enables interest-scoped replication (ROADMAP item 4): each
+	// DC holds only its interest set's buckets, receives payload-stripped
+	// stubs for the rest, and backfills buckets on demand. Incompatible with
+	// InlineWritePath (dc.Config).
+	PartialRepl bool
+	// DCBuckets is the boot-time interest set per DC index (missing entries
+	// start empty and acquire buckets purely on demand). Ignored unless
+	// PartialRepl is set.
+	DCBuckets map[int][]string
+	// EvictAfter drops a DC's live buckets untouched for this long (see
+	// dc.Config.EvictAfter); 0 disables. Ignored unless PartialRepl is set.
+	EvictAfter time.Duration
 	// Obs is the deployment's instrumentation registry. Nil creates a fresh
 	// registry, so every deployment is always observable via Cluster.Obs();
 	// supply one to aggregate several clusters into a single exposition.
@@ -169,6 +181,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			PerSubscriberPush: cfg.PerSubscriberPush,
 			DirectPush:        cfg.DirectPush,
 			TreeDegree:        cfg.TreeDegree,
+
+			PartialRepl: cfg.PartialRepl,
+			Buckets:     cfg.DCBuckets[i],
+			EvictAfter:  cfg.EvictAfter,
 
 			AutoAdvanceThreshold: cfg.AutoAdvanceThreshold,
 		})

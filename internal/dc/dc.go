@@ -127,6 +127,22 @@ type Config struct {
 	// rather than an infinitely fast simulator.
 	ServiceTime time.Duration
 	Workers     int
+	// PartialRepl enables interest-scoped replication (ROADMAP item 4): the
+	// DC holds only the buckets in its interest set, advertises that set to
+	// peers via BucketVec gossip, and receives payload-stripped stubs for
+	// everything else. Buckets are acquired on demand (backfill) and may be
+	// evicted when cold. Requires the pipelined path (incompatible with
+	// Inline).
+	PartialRepl bool
+	// Buckets is the boot-time interest set (live immediately, no backfill —
+	// at genesis every bucket is empty everywhere). Additional buckets join
+	// on demand via EnsureBuckets. Ignored unless PartialRepl is set.
+	Buckets []string
+	// EvictAfter drops live buckets untouched for this long (cold-bucket
+	// eviction, checked on the heartbeat worker; a drop is vetoed while the
+	// bucket has local subscriber interest or no other live replica).
+	// 0 disables eviction. Ignored unless PartialRepl is set.
+	EvictAfter time.Duration
 	// Obs, when non-nil, instruments the DC (edge commit acceptance, push
 	// batch sizes, inter-DC propagation latency) and its storage shards.
 	Obs *obs.Registry
@@ -251,6 +267,19 @@ type DC struct {
 	fanShards atomic.Int64
 	fanDirty  atomic.Int64
 
+	// Interest-scoped replication state (see partial.go). bmu is a LEAF
+	// lock: it is taken with d.mu, shard locks, or the fanout lock held, so
+	// nothing may be acquired under it. partial mirrors cfg.PartialRepl;
+	// buckets is the local bucket table; bucketSeq versions the interest set
+	// (bumped on every change) and wantFloor records the seq of the latest
+	// bucket ADDITION — incoming batches scoped against an older set are
+	// refused (they may have stubbed a bucket we now hold).
+	bmu       sync.Mutex
+	partial   bool
+	buckets   map[string]*bucketState
+	bucketSeq uint64
+	wantFloor uint64
+
 	// Instrumentation handles (nil-safe no-ops when Config.Obs is unset).
 	obsEdgeCommits  *obs.Counter
 	obsEdgeNacks    *obs.Counter
@@ -261,6 +290,11 @@ type DC struct {
 	obsPushSends    *obs.Counter
 	obsTreeAssigns  *obs.Counter
 	obsTreeRepairs  *obs.Counter
+	obsFullTxs      *obs.Counter
+	obsStubTxs      *obs.Counter
+	obsSkipped      *obs.Counter
+	obsBackfills    *obs.Counter
+	obsEvictions    *obs.Counter
 	obsPushBatch    *obs.Histogram
 	obsReplBatch    *obs.Histogram
 	obsReplLat      *obs.Histogram
@@ -274,6 +308,9 @@ type DC struct {
 // worker (if configured). Call SetPeers once all DCs exist, then Close when
 // done.
 func New(net transport.Network, cfg Config) (*DC, error) {
+	if cfg.PartialRepl && cfg.Inline {
+		return nil, fmt.Errorf("dc %s: PartialRepl requires the pipelined path (Inline must be false)", cfg.Name)
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
 	}
@@ -333,6 +370,11 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 		d.obsPushSends = cfg.Obs.Counter("dc.push_sends")
 		d.obsTreeAssigns = cfg.Obs.Counter("dc.tree_assigns")
 		d.obsTreeRepairs = cfg.Obs.Counter("dc.tree_repairs")
+		d.obsFullTxs = cfg.Obs.Counter("dc.repl_full_txs")
+		d.obsStubTxs = cfg.Obs.Counter("dc.repl_stub_txs")
+		d.obsSkipped = cfg.Obs.Counter("dc.repl_skipped_buckets")
+		d.obsBackfills = cfg.Obs.Counter("dc.backfills")
+		d.obsEvictions = cfg.Obs.Counter("dc.bucket_evictions")
 		d.obsPushBatch = cfg.Obs.Histogram("dc.push_batch_txs")
 		d.obsReplBatch = cfg.Obs.Histogram("dc.repl_batch_txs")
 		d.obsReplLat = cfg.Obs.Histogram("dc.repl_propagation_ns")
@@ -352,13 +394,20 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 		coord.SetObs(cfg.Obs)
 	}
 	if cfg.AutoAdvanceThreshold > 0 {
-		coord.SetAutoAdvance(store.AdvancePolicy{
+		p := store.AdvancePolicy{
 			JournalThreshold: cfg.AutoAdvanceThreshold,
 			// Fold up to the K-stable cut; keep dots so migration-induced
 			// re-delivery stays deduplicated.
 			Cut:      d.Stable,
 			KeepDots: true,
-		})
+		}
+		if cfg.PartialRepl {
+			// Each bucket folds at its own K-stability frontier, computed
+			// over only the replicas holding it (partial.go).
+			p.Cut = nil
+			p.CutFor = d.bucketCutFor
+		}
+		coord.SetAutoAdvance(p)
 	}
 	if cfg.ServiceTime > 0 {
 		if cfg.Workers <= 0 {
@@ -367,6 +416,9 @@ func New(net transport.Network, cfg Config) (*DC, error) {
 		d.capacity = make(chan struct{}, cfg.Workers)
 	}
 	d.cfg = cfg
+	if cfg.PartialRepl {
+		d.initPartial()
+	}
 	if cfg.DataDir != "" {
 		if err := d.recover(); err != nil {
 			return nil, fmt.Errorf("dc: recover %s: %w", cfg.Name, err)
@@ -452,7 +504,8 @@ func (d *DC) runReplSender(o *replOutbox) {
 			}
 			d.replDepth.Add(-int64(len(batch)))
 			d.obsReplBatch.Observe(int64(len(batch)))
-			msg := wire.ReplBatch{From: d.cfg.Index, Txs: batch, State: d.State(), SentAt: time.Now()}
+			txs, wantSeq := d.scopeBatch(o.peerIdx, batch)
+			msg := wire.ReplBatch{From: d.cfg.Index, Txs: txs, State: d.State(), SentAt: time.Now(), WantSeq: wantSeq}
 			_ = d.node.Send(o.peer, msg) // partitions heal via anti-entropy
 		}
 	}
@@ -608,12 +661,23 @@ func (d *DC) heartbeatLoop() {
 	ticker := time.NewTicker(d.cfg.Heartbeat)
 	defer ticker.Stop()
 	lastCompact := time.Now()
+	ticks := 0
 	for {
 		select {
 		case <-ticker.C:
 			if d.cfg.CompactEvery > 0 && time.Since(lastCompact) >= d.cfg.CompactEvery {
 				lastCompact = time.Now()
 				_ = d.Compact() // best effort; journals shrink next round
+			}
+			if d.partial {
+				ticks++
+				if ticks%32 == 1 {
+					// Interest sets gossip on every change; the periodic
+					// re-broadcast converges peers that booted later or missed
+					// the change broadcast.
+					d.gossipBuckets()
+				}
+				d.sweepIdleBuckets()
 			}
 			d.mu.Lock()
 			msg := wire.ReplHeartbeat{From: d.cfg.Index, State: d.state.Clone()}
@@ -687,6 +751,13 @@ func (d *DC) handle(from string, msg any) any {
 		return d.fetchObject(from, m.ID, m.At)
 	case wire.MigratedTx:
 		return d.runMigrated(m)
+	case wire.BucketVec:
+		return d.handleBucketVec(m)
+	case wire.BackfillReq:
+		return d.serveBackfill(m)
+	case wire.BucketDrop:
+		d.mesh.DropBucket(m.From, m.Seq, m.Bucket)
+		return nil
 	default:
 		return nil
 	}
@@ -717,8 +788,13 @@ func (d *DC) Begin(actor string) *Tx {
 }
 
 // Read returns the object at the transaction snapshot, including the
-// transaction's own buffered updates.
+// transaction's own buffered updates. On a partially replicating DC the
+// object's bucket is made live first (backfill), so a read never observes a
+// half-resident bucket.
 func (t *Tx) Read(id txn.ObjectID) (crdt.Object, error) {
+	if err := t.dc.EnsureBuckets(id.Bucket); err != nil {
+		return nil, err
+	}
 	obj, err := t.dc.coord.Read(id, t.snapshot, store.ReadOptions{})
 	if errors.Is(err, store.ErrNotFound) {
 		var kind crdt.Kind
@@ -789,6 +865,9 @@ func (d *DC) commitLocal(t *txn.Transaction) (vclock.CommitStamps, error) {
 		t.Dot = vclock.Dot{Node: d.cfg.Name, Seq: d.lamport.Next()}
 	}
 	d.mu.Unlock()
+	if err := d.EnsureBuckets(bucketsOf(t.Updates)...); err != nil {
+		return nil, err
+	}
 	return d.commitAt(t)
 }
 
@@ -908,7 +987,11 @@ func (d *DC) antiEntropyLocked(m wire.ReplHeartbeat) (wire.ReplBatch, string) {
 	if len(txs) == 0 {
 		return wire.ReplBatch{}, peer
 	}
-	return wire.ReplBatch{From: d.cfg.Index, Txs: txs, State: d.state.Clone(), SentAt: time.Now()}, peer
+	// Anti-entropy resends are scoped like the live stream: the receiver's
+	// WantSeq guard plus the next round's resend make dropped batches
+	// self-healing.
+	txs, wantSeq := d.scopeBatch(m.From, txs)
+	return wire.ReplBatch{From: d.cfg.Index, Txs: txs, State: d.state.Clone(), SentAt: time.Now(), WantSeq: wantSeq}, peer
 }
 
 // --- edge transaction acceptance (paper §3.7) ---
@@ -933,6 +1016,12 @@ func stampOf(stamps vclock.CommitStamps) (int, uint64) {
 
 // acceptEdgeTx handles an asynchronously committed edge transaction.
 func (d *DC) acceptEdgeTx(t *txn.Transaction) any {
+	if err := d.EnsureBuckets(bucketsOf(t.Updates)...); err != nil {
+		// No replica could serve a backfill for a touched bucket; the edge
+		// retries against this DC or migrates to another.
+		d.obsEdgeNacks.Inc()
+		return wire.EdgeCommitNack{Dot: t.Dot}
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -995,6 +1084,13 @@ func (d *DC) receiveReplicated(m wire.ReplBatch) {
 		d.obsReplLat.Observe(int64(time.Since(m.SentAt)))
 	}
 	d.mesh.ObservePeer(m.From, m.State)
+	if d.dropStale(m) {
+		// Scoped against an interest set older than our latest bucket
+		// addition: the batch may stub a bucket we now hold. Refuse it whole
+		// (the peer's state was still observed above); anti-entropy re-sends
+		// the content with a fresher scope.
+		return
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -1043,6 +1139,15 @@ func (d *DC) receiveReplicated(m wire.ReplBatch) {
 // subscribe registers or extends an interest set and returns base versions
 // of the requested objects at the subscriber's stable cut.
 func (d *DC) subscribe(m wire.Subscribe) any {
+	if d.partial {
+		// The requested buckets must be live here before interest registers:
+		// serving a seed for a bucket this DC does not hold would hand the
+		// subscriber "empty at cut" for state that exists elsewhere. A failed
+		// backfill fails the subscribe; the edge retries.
+		if err := d.EnsureBuckets(bucketsOfIDs(m.Objects)...); err != nil {
+			return nil
+		}
+	}
 	d.mu.Lock()
 	sub := d.subs[m.Node]
 	if sub == nil {
@@ -1117,7 +1222,11 @@ func (d *DC) subscribe(m wire.Subscribe) any {
 		d.fan.place(sub)
 	}
 	for _, id := range m.Objects {
-		ack.Objects = append(ack.Objects, d.materializeLocked(id, seedCut))
+		// Per bucket, the seed cut is lifted to at least the bucket's
+		// seed/advance floor: a backfilled or per-bucket-advanced base may
+		// hold effects above the global stable cut, and the advertised vector
+		// must cover everything the state contains.
+		ack.Objects = append(ack.Objects, d.materializeLocked(id, d.seedCutFor(id.Bucket, seedCut)))
 	}
 	d.notifySubscribersLocked(false)
 	d.mu.Unlock()
@@ -1221,6 +1330,11 @@ func (d *DC) unsubscribe(m wire.Unsubscribe) {
 // duplicates are filtered by dot and base vectors. Without a usable At the
 // DC serves its stable cut.
 func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) any {
+	if err := d.EnsureBuckets(id.Bucket); err != nil {
+		// Serving "empty at cut" for a bucket this DC cannot backfill would
+		// poison the requester's cache; fail the fetch instead.
+		return nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cut := d.mesh.KStable(d.cfg.K)
@@ -1230,6 +1344,12 @@ func (d *DC) fetchObject(requester string, id txn.ObjectID, at vclock.Vector) an
 		// first transaction.
 		cut = at.Clone()
 	}
+	// Lift to the bucket's seed/advance floor (partial mode): the base may
+	// hold effects above the requested cut, and the advertised vector must
+	// cover them. A cut above the requester's snapshot resolves downstream
+	// exactly like a stable-cut serve would (retry against a fresher
+	// snapshot).
+	cut = d.seedCutFor(id.Bucket, cut)
 	if sub := d.subs[requester]; sub != nil {
 		// Register interest under the same lock that serves the state:
 		// otherwise the push cursor could advance past a transaction
@@ -1417,8 +1537,25 @@ func (d *DC) flushSub(sub *subscription) {
 // --- migrated transactions (paper §3.9) ---
 
 // runMigrated executes a transaction shipped from an edge node against this
-// DC, at the client's own snapshot.
+// DC, at the client's own snapshot. The transaction body arrives either as a
+// local closure (simnet) or as a registered program name plus arguments (the
+// wire form); Touches carries the migrating user's interest set so a partial
+// DC backfills exactly those buckets before the body runs.
 func (d *DC) runMigrated(m wire.MigratedTx) any {
+	fn := m.Fn
+	if fn == nil {
+		prog, ok := wire.LookupProgram(m.Name)
+		if !ok {
+			return wire.MigratedTxAck{Err: fmt.Sprintf("dc: unknown migrated program %q", m.Name)}
+		}
+		args := m.Args
+		fn = func(read wire.TxReader, update wire.TxUpdater) error {
+			return prog(args, read, update)
+		}
+	}
+	if err := d.EnsureBuckets(bucketsOfIDs(m.Touches)...); err != nil {
+		return wire.MigratedTxAck{Err: err.Error()}
+	}
 	d.mu.Lock()
 	snap := m.Snapshot.Clone()
 	if snap == nil {
@@ -1437,7 +1574,7 @@ func (d *DC) runMigrated(m wire.MigratedTx) any {
 		t.Update(id, kind, op)
 		return nil
 	}
-	if err := m.Fn(read, update); err != nil {
+	if err := fn(read, update); err != nil {
 		return wire.MigratedTxAck{Err: err.Error()}
 	}
 	stamps, err := t.Commit()
@@ -1496,8 +1633,12 @@ func (d *DC) RecheckVisibility() {
 
 // Compact folds journal entries below the current stable cut into base
 // versions on every shard (paper §4.1). Dots are retained so duplicate
-// filtering keeps working across migrations.
+// filtering keeps working across migrations. Partial mode folds per bucket,
+// each at its own K-stability frontier.
 func (d *DC) Compact() error {
+	if d.partial {
+		return d.coord.AdvanceBuckets(d.bucketCutFor)
+	}
 	return d.coord.Advance(d.Stable(), true)
 }
 

@@ -1,0 +1,371 @@
+package dc
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"colony/internal/crdt"
+	"colony/internal/obs"
+	"colony/internal/simnet"
+	"colony/internal/txn"
+)
+
+// partialCluster builds n partially replicating DCs, with per-DC boot
+// interest sets.
+func partialCluster(t *testing.T, net *simnet.Network, n, k int, buckets map[int][]string, tweak func(*Config)) []*DC {
+	t.Helper()
+	dcs := make([]*DC, n)
+	peers := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		peers[i] = fmt.Sprintf("dc%d", i)
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Index: i, Name: peers[i], NumDCs: n, Shards: 2, K: k,
+			Heartbeat:   5 * time.Millisecond,
+			PartialRepl: true,
+			Buckets:     buckets[i],
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		d, err := New(net.Transport(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetPeers(peers)
+		t.Cleanup(d.Close)
+		dcs[i] = d
+	}
+	// Let the first BucketVec gossip round finish so interest scoping is
+	// actually exercised (before it, peers are treated as universal).
+	deadline := time.Now().Add(5 * time.Second)
+	for _, d := range dcs {
+		for !d.ScopesKnown() {
+			if time.Now().After(deadline) {
+				t.Fatal("bucket gossip never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return dcs
+}
+
+// counterValue reads the counter at the DC's current state, or -1.
+func partialCounter(d *DC, id txn.ObjectID) int64 {
+	obj, err := d.ReadAt(id, d.State())
+	if err != nil {
+		return -1
+	}
+	v, _ := obj.Value().(int64)
+	return v
+}
+
+func waitCounter(t *testing.T, d *DC, id txn.ObjectID, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if got := partialCounter(d, id); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %s stuck at %d, want %d", d.Name(), id, partialCounter(d, id), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartialScopedConvergence: a bucket shared by all DCs converges
+// everywhere; a bucket private to DC0/DC1 reaches both of them but is never
+// made resident at DC2, whose state vector still converges (stubs keep the
+// stability lattice dense).
+func TestPartialScopedConvergence(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"shared", "ab"},
+		1: {"shared", "ab"},
+		2: {"shared"},
+	}, nil)
+
+	sharedID := txn.ObjectID{Bucket: "shared", Key: "k"}
+	abID := txn.ObjectID{Bucket: "ab", Key: "k"}
+	const each = 20
+	for i := 0; i < each; i++ {
+		for at, d := range dcs {
+			tx := d.Begin(fmt.Sprintf("a%d", at))
+			tx.Update(sharedID, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+			if at != 2 {
+				tx.Update(abID, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+			}
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, d := range dcs {
+		waitCounter(t, d, sharedID, 3*each)
+	}
+	waitCounter(t, dcs[0], abID, 2*each)
+	waitCounter(t, dcs[1], abID, 2*each)
+
+	// DC2 never asked for "ab": it must not be resident there.
+	if b, _, _ := dcs[2].ResidentStats(); b != 1 {
+		t.Fatalf("dc2 resident buckets = %d, want 1 (shared only)", b)
+	}
+
+	// But on demand DC2 can still pull it: EnsureBuckets backfills from a
+	// replica and the read sees the full total.
+	if err := dcs[2].EnsureBuckets("ab"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[2], abID, 2*each)
+}
+
+// TestPartialSubscribeBackfillRacesLiveCommits drives continuous commits
+// into a bucket at DC0 while DC2 — which has no interest in it — subscribes
+// mid-stream. The backfill snapshot and the journal catch-up must compose
+// without losing or double-applying any increment. Run under -race via
+// make ci.
+func TestPartialSubscribeBackfillRacesLiveCommits(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"hot"},
+		1: {"hot"},
+		2: {},
+	}, nil)
+
+	id := txn.ObjectID{Bucket: "hot", Key: "k"}
+	const committers, perCommitter = 4, 50
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			d := dcs[c%2] // DC0 and DC1 both write
+			for i := 0; i < perCommitter; i++ {
+				tx := d.Begin(fmt.Sprintf("actor%d", c))
+				tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+				if _, err := tx.Commit(); err != nil {
+					t.Errorf("committer %d: %v", c, err)
+					return
+				}
+				if i%8 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(c)
+	}
+
+	// Subscribe mid-stream, several times from several goroutines: the
+	// pending-bucket state machine must serialise concurrent ensures.
+	var ewg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		ewg.Add(1)
+		go func() {
+			defer ewg.Done()
+			time.Sleep(5 * time.Millisecond)
+			if err := dcs[2].EnsureBuckets("hot"); err != nil {
+				t.Errorf("ensure: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	ewg.Wait()
+
+	const total = committers * perCommitter
+	for _, d := range dcs {
+		waitCounter(t, d, id, total)
+	}
+}
+
+// TestPartialUnsubscribeResubscribeRoundTrip drops a bucket, lets more
+// commits land elsewhere, then resubscribes and checks the backfilled state
+// is exact. Also asserts the drop guards: the last replica refuses, and the
+// tombstoned bucket really was evicted. Run under -race via make ci.
+func TestPartialUnsubscribeResubscribeRoundTrip(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"b"},
+		1: {"b"},
+		2: {"b"},
+	}, nil)
+
+	id := txn.ObjectID{Bucket: "b", Key: "k"}
+	commit := func(d *DC, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			tx := d.Begin("w")
+			tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	commit(dcs[0], 10)
+	for _, d := range dcs {
+		waitCounter(t, d, id, 10)
+	}
+
+	if err := dcs[2].DropBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _, _ := dcs[2].ResidentStats(); b != 0 {
+		t.Fatalf("dc2 resident buckets after drop = %d, want 0", b)
+	}
+
+	// More effects land while DC2 is out.
+	commit(dcs[0], 7)
+	waitCounter(t, dcs[1], id, 17)
+
+	// Resubscribe: the tombstone must not block the new backfill, and the
+	// state must include both the pre-drop and missed effects exactly once.
+	if err := dcs[2].EnsureBuckets("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[2], id, 17)
+
+	// New commits keep flowing to the resubscribed DC.
+	commit(dcs[1], 3)
+	for _, d := range dcs {
+		waitCounter(t, d, id, 20)
+	}
+}
+
+// TestPartialGenesisBucket: the first commit to a bucket nobody in an
+// all-partial mesh has ever held must succeed — every replica candidate
+// answers NotLive, which the subscriber treats as genesis (live, empty)
+// rather than a failed backfill. The commit then replicates normally.
+func TestPartialGenesisBucket(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {}, 1: {}, 2: {},
+	}, nil)
+
+	id := txn.ObjectID{Bucket: "fresh", Key: "k"}
+	tx := dcs[0].Begin("w")
+	tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("first commit to a fresh bucket: %v", err)
+	}
+	waitCounter(t, dcs[0], id, 1)
+
+	// A second DC pulls the young bucket: a normal backfill this time.
+	if err := dcs[1].EnsureBuckets("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[1], id, 1)
+}
+
+// TestPartialDropGuards: a DC holding the only replica of a bucket must
+// refuse to drop it.
+func TestPartialDropGuards(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"solo"},
+		1: {},
+		2: {},
+	}, nil)
+	if err := dcs[0].DropBucket("solo"); err == nil {
+		t.Fatal("dropping the last replica must fail")
+	}
+}
+
+// TestPartialMetricsExposed drives a backfill and an eviction through a
+// partial cluster and asserts the interest-scoping series appear on the
+// /metrics exposition.
+func TestPartialMetricsExposed(t *testing.T) {
+	reg := obs.New()
+	net := simnet.New(simnet.Config{Obs: reg})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"m"},
+		1: {"m"},
+		2: {},
+	}, func(cfg *Config) { cfg.Obs = reg })
+
+	id := txn.ObjectID{Bucket: "m", Key: "k"}
+	for i := 0; i < 5; i++ {
+		tx := dcs[0].Begin("w")
+		tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dcs[2].EnsureBuckets("m"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[2], id, 5)
+	if err := dcs[2].DropBucket("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE store_resident_buckets gauge",
+		"store_resident_bytes",
+		"# TYPE dc_backfills counter",
+		"dc_backfills 1",
+		"dc_bucket_evictions 1",
+		"dc_repl_skipped_buckets",
+		"dc_repl_stub_txs",
+		"dc_repl_full_txs",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestPartialIdleEviction: with EvictAfter set, an untouched live bucket is
+// swept and its state survives at the remaining replicas.
+func TestPartialIdleEviction(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"e"},
+		1: {"e"},
+		2: {"e"},
+	}, func(cfg *Config) {
+		if cfg.Index == 2 {
+			cfg.EvictAfter = 50 * time.Millisecond
+		}
+	})
+
+	id := txn.ObjectID{Bucket: "e", Key: "k"}
+	tx := dcs[0].Begin("w")
+	tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 1}})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dcs {
+		waitCounter(t, d, id, 1)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, _, _ := dcs[2].ResidentStats(); b == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle bucket never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The evicted DC can still read on demand (reload path).
+	if err := dcs[2].EnsureBuckets("e"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[2], id, 1)
+}

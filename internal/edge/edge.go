@@ -1117,8 +1117,26 @@ func (n *Node) Value(id txn.ObjectID, kind crdt.Kind) (any, error) {
 
 // RunAtDC migrates a resource-hungry transaction to the connected DC for
 // execution (paper §3.9). The DC executes fn at this node's state vector, so
-// the effect is as if it ran locally; only performance differs.
+// the effect is as if it ran locally; only performance differs. The closure
+// form works only over transports that pass Go values (simnet); across real
+// links use RunAtDCNamed.
 func (n *Node) RunAtDC(fn func(read wire.TxReader, update wire.TxUpdater) error) (vclock.CommitStamps, error) {
+	return n.migrate(wire.MigratedTx{Fn: fn})
+}
+
+// RunAtDCNamed migrates a transaction by program name: the DC resolves name
+// in its wire.RegisterProgram registry and runs it with args. touches lists
+// the object ids the program will access — the migrating user's interest set
+// — so a partially replicating DC backfills exactly those buckets before the
+// program runs. This is the wire-encodable migration form (works across the
+// TCP mesh, satellite of ROADMAP item 4's interest-scoped migration).
+func (n *Node) RunAtDCNamed(name string, args []byte, touches []txn.ObjectID) (vclock.CommitStamps, error) {
+	return n.migrate(wire.MigratedTx{Name: name, Args: args, Touches: touches})
+}
+
+// migrate flushes the local pipeline, stamps the migration envelope with this
+// node's snapshot, and ships it to the connected DC.
+func (n *Node) migrate(m wire.MigratedTx) (vclock.CommitStamps, error) {
 	n.mu.Lock()
 	dcName := n.connected
 	snap := n.state.Clone()
@@ -1144,9 +1162,8 @@ func (n *Node) RunAtDC(fn func(read wire.TxReader, update wire.TxUpdater) error)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
 	defer cancel()
-	reply, err := n.node.Call(ctx, dcName, wire.MigratedTx{
-		Origin: n.cfg.Name, Actor: n.cfg.Actor, Snapshot: snap, Fn: fn,
-	})
+	m.Origin, m.Actor, m.Snapshot = n.cfg.Name, n.cfg.Actor, snap
+	reply, err := n.node.Call(ctx, dcName, m)
 	if err != nil {
 		return nil, err
 	}

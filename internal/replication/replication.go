@@ -27,6 +27,7 @@ type Mesh struct {
 	mu      sync.Mutex
 	known   map[int]vclock.Vector // DC index → latest known state vector
 	pending []*txn.Transaction    // remote txs waiting for causal dependencies
+	buckets map[int]*bucketView   // DC index → advertised interest set (absent = universal)
 }
 
 // NewMesh creates the mesh state for DC index self among nDCs data centres.

@@ -22,6 +22,13 @@ type AdvancePolicy struct {
 	// store lock and must not call back into the store's write path. A nil
 	// func or an empty cut skips the advancement.
 	Cut func() vclock.Vector
+	// CutFor supplies a per-bucket fold cut for partially replicated stores:
+	// each bucket advances to its own K-stability frontier (computed over only
+	// the replicas holding it). When set it takes precedence over Cut and the
+	// fold runs through AdvanceBuckets, which always keeps dots. Unlike Cut it
+	// may be called while a shard lock is held, so it must never call back
+	// into the store at all; a nil or empty per-bucket cut skips that bucket.
+	CutFor func(bucket string) vclock.Vector
 	// KeepDots preserves the duplicate filter for folded transactions (see
 	// Advance).
 	KeepDots bool
@@ -38,7 +45,7 @@ func (s *Store) SetAutoAdvance(p AdvancePolicy) { s.policy = p }
 // stay bounded by the threshold plus the writes in flight during one fold.
 func (s *Store) maybeAutoAdvance(longest int) {
 	p := s.policy
-	if p.JournalThreshold <= 0 || p.Cut == nil || longest <= p.JournalThreshold {
+	if p.JournalThreshold <= 0 || (p.Cut == nil && p.CutFor == nil) || longest <= p.JournalThreshold {
 		return
 	}
 	if !s.advancing.CompareAndSwap(false, true) {
@@ -46,6 +53,10 @@ func (s *Store) maybeAutoAdvance(longest int) {
 	}
 	go func() {
 		defer s.advancing.Store(false)
+		if p.CutFor != nil {
+			_ = s.AdvanceBuckets(p.CutFor)
+			return
+		}
 		cut := p.Cut()
 		if len(cut) == 0 {
 			return
@@ -115,5 +126,61 @@ func (s *Store) Advance(cut vclock.Vector, keepDots bool) error {
 	}
 	s.baseAdv.Inc()
 	s.bus.Publish(obs.Event{Type: obs.EvBaseAdvanced, Node: s.self, N: int64(len(folded))})
+	return nil
+}
+
+// AdvanceBuckets is the per-bucket form of Advance for partially replicated
+// stores: each object folds at the cut its own bucket has reached (per-bucket
+// K-stability), so a bucket held by few slow replicas does not hold back
+// journal truncation everywhere else. An empty cut skips the bucket (it is
+// pending, dropped, or has no live replicas). Dots are always kept: a
+// transaction may span buckets advancing at different cuts, so releasing its
+// dot when only some of its entries folded would break duplicate filtering.
+func (s *Store) AdvanceBuckets(cutFor func(bucket string) vclock.Vector) error {
+	folded := 0
+	cuts := make(map[string]vclock.Vector)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, obj := range sh.objects {
+			cut, ok := cuts[id.Bucket]
+			if !ok {
+				cut = cutFor(id.Bucket)
+				cuts[id.Bucket] = cut
+			}
+			if len(cut) == 0 {
+				continue
+			}
+			var fork crdt.Object
+			kept := obj.journal[:0]
+			for _, e := range obj.journal {
+				if e.tx.VisibleAt(cut) {
+					if fork == nil {
+						fork = obj.base.Fork()
+					}
+					if err := fork.Apply(e.tx.Meta(e.idx), e.tx.Updates[e.idx].Op); err != nil {
+						sh.mu.Unlock()
+						return fmt.Errorf("advance %s: %w", id, err)
+					}
+					folded++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			obj.journal = kept
+			if fork != nil {
+				if c, ok := fork.(crdt.Compactor); ok {
+					c.CompactTombstones()
+				}
+				fork.Seal()
+				obj.base = fork
+			}
+			obj.baseVec = obj.baseVec.Join(cut)
+			obj.cache = nil
+		}
+		sh.mu.Unlock()
+	}
+	s.baseAdv.Inc()
+	s.bus.Publish(obs.Event{Type: obs.EvBaseAdvanced, Node: s.self, N: int64(folded)})
 	return nil
 }

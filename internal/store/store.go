@@ -123,6 +123,9 @@ type Store struct {
 	// into the cache (seeds are always taken at or above the skipped
 	// transaction's commit cut).
 	cacheMode bool
+	// resident is the bucket-granular residency filter of a partially
+	// replicating DC (see SetResident); nil accepts every bucket.
+	resident func(bucket string) bool
 	// readCacheOff disables the materialisation cache (benchmark baseline).
 	readCacheOff bool
 
@@ -177,6 +180,18 @@ func (s *Store) SetObs(r *obs.Registry) {
 		return int64(s.MaxJournalLen())
 	})
 	r.RegisterGauge("crdt.cow_copies", obs.AggMax, crdt.CowCopies)
+	// Residency gauges for partial replication: distinct buckets resident in
+	// any one store (AggMax — a DC's shard stores each hold a slice of every
+	// bucket, so the max tracks the bucket count) and the summed canonical
+	// state bytes pinned across stores.
+	r.RegisterGauge("store.resident_buckets", obs.AggMax, func() int64 {
+		b, _, _ := s.ResidentStats()
+		return int64(b)
+	})
+	r.RegisterGauge("store.resident_bytes", obs.AggSum, func() int64 {
+		_, _, by := s.ResidentStats()
+		return by
+	})
 }
 
 // SetReadCache enables or disables the per-object materialisation cache
@@ -284,6 +299,9 @@ func (s *Store) Apply(t *txn.Transaction) error {
 		obj := sh.objects[u.Object]
 		if obj == nil {
 			if s.cacheMode && t.Origin != s.self {
+				continue
+			}
+			if s.resident != nil && t.Origin != s.self && !s.resident(u.Object.Bucket) {
 				continue
 			}
 			base, err := crdt.New(u.Kind)

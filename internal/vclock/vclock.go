@@ -118,6 +118,42 @@ func (v Vector) Join(o Vector) Vector {
 	return v
 }
 
+// Meet sets v to the greatest lower bound (componentwise minimum) of v and
+// o, returning the possibly-shrunk vector. Partial replication uses it to
+// scope a cut to the slowest of several per-bucket frontiers: the meet is the
+// largest cut both frontiers are known to cover. Missing components are zero,
+// so the result never outgrows the shorter operand.
+func (v Vector) Meet(o Vector) Vector {
+	if len(v) > len(o) {
+		for i := len(o); i < len(v); i++ {
+			v[i] = 0
+		}
+	}
+	n := len(v)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if o[i] < v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// GLB returns the greatest lower bound of a and b without mutating either.
+// When one operand is already dominated by the other, it is returned as-is
+// (no clone): treat the result as read-only, or Clone it before mutating.
+func GLB(a, b Vector) Vector {
+	if a.LEQ(b) {
+		return a
+	}
+	if b.LEQ(a) {
+		return b
+	}
+	return a.Clone().Meet(b)
+}
+
 // LUB returns the least upper bound of a and b without mutating either.
 // When one operand already dominates the other, it is returned as-is (no
 // clone): treat the result as read-only, or Clone it before mutating.

@@ -43,8 +43,10 @@ func TestReplBatchCloneSafety(t *testing.T) {
 }
 
 // TestBatchUnits pins the unit accounting the network substrate uses: a
-// replication batch stands for one logical message per transaction, and a
-// push with no transactions (pure stability advance) still counts as one.
+// replication batch stands for one logical message per payload-bearing
+// transaction (partial-replication stubs are free beyond the frame itself),
+// and a push with no transactions (pure stability advance) still counts as
+// one.
 func TestBatchUnits(t *testing.T) {
 	var txs []*txn.Transaction
 	for seq := uint64(1); seq <= 5; seq++ {
@@ -55,8 +57,17 @@ func TestBatchUnits(t *testing.T) {
 	if got := (ReplBatch{Txs: txs}).Units(); got != 5 {
 		t.Errorf("ReplBatch units = %d, want 5", got)
 	}
-	if got := (ReplBatch{}).Units(); got != 0 {
-		t.Errorf("empty ReplBatch units = %d, want 0", got)
+	if got := (ReplBatch{}).Units(); got != 1 {
+		t.Errorf("empty ReplBatch units = %d, want 1", got)
+	}
+	stubbed := []*txn.Transaction{txs[0]}
+	for _, tx := range txs[1:] {
+		s := tx.Clone()
+		s.Updates = nil
+		stubbed = append(stubbed, s)
+	}
+	if got := (ReplBatch{Txs: stubbed}).Units(); got != 1 {
+		t.Errorf("stub-heavy ReplBatch units = %d, want 1", got)
 	}
 	if got := (PushTxs{Txs: txs[:2]}).Units(); got != 2 {
 		t.Errorf("PushTxs units = %d, want 2", got)

@@ -47,7 +47,8 @@ var (
 	// (truncation, corruption, or trailing bytes).
 	ErrMalformed = errors.New("wire: malformed message")
 	// ErrNotEncodable reports a message that deliberately has no binary
-	// encoding (MigratedTx: its closure is in-process mobile code).
+	// encoding (a MigratedTx carrying a bare closure: in-process mobile code
+	// with no name to resolve it by on the far side).
 	ErrNotEncodable = errors.New("wire: message has no binary encoding")
 )
 
@@ -78,7 +79,8 @@ func EncodeMessage(buf []byte, m Message) ([]byte, error) {
 			}
 		}
 		buf = appendVector(buf, v.State)
-		return appendTime(buf, v.SentAt), nil
+		buf = appendTime(buf, v.SentAt)
+		return bin.AppendUvarint(buf, v.WantSeq), nil
 	case ReplHeartbeat:
 		buf = bin.AppendVarint(buf, int64(v.From))
 		return appendVector(buf, v.State), nil
@@ -223,7 +225,40 @@ func EncodeMessage(buf []byte, m Message) ([]byte, error) {
 		buf = appendInstanceID(buf, v.Inst)
 		return bin.AppendString(buf, v.From), nil
 	case MigratedTx:
-		return nil, fmt.Errorf("%w: %T carries a closure (in-process mobile code)", ErrNotEncodable, m)
+		if v.Fn != nil && v.Name == "" {
+			return nil, fmt.Errorf("%w: %T carries a bare closure (in-process mobile code)", ErrNotEncodable, m)
+		}
+		buf = bin.AppendString(buf, v.Origin)
+		buf = bin.AppendString(buf, v.Actor)
+		buf = appendVector(buf, v.Snapshot)
+		buf = bin.AppendString(buf, v.Name)
+		buf = bin.AppendBytes(buf, v.Args)
+		return appendObjectIDs(buf, v.Touches), nil
+	case BucketVec:
+		buf = bin.AppendVarint(buf, int64(v.From))
+		buf = bin.AppendUvarint(buf, v.Seq)
+		buf = appendStrings(buf, v.Live)
+		buf = appendStrings(buf, v.Pending)
+		return appendVector(buf, v.State), nil
+	case BackfillReq:
+		buf = bin.AppendString(buf, v.Bucket)
+		return appendVector(buf, v.At), nil
+	case BackfillResp:
+		buf = bin.AppendString(buf, v.Bucket)
+		buf = appendVector(buf, v.At)
+		buf = bin.AppendUvarint(buf, uint64(len(v.Objects)))
+		var err error
+		for _, st := range v.Objects {
+			if buf, err = appendObjectState(buf, st); err != nil {
+				return nil, err
+			}
+		}
+		buf = bin.AppendBool(buf, v.OK)
+		return bin.AppendBool(buf, v.NotLive), nil
+	case BucketDrop:
+		buf = bin.AppendVarint(buf, int64(v.From))
+		buf = bin.AppendUvarint(buf, v.Seq)
+		return bin.AppendString(buf, v.Bucket), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrNotEncodable, m)
 	}
@@ -262,6 +297,7 @@ func DecodeMessage(data []byte) (Message, error) {
 		}
 		v.State = readVector(r)
 		v.SentAt = readTime(r)
+		v.WantSeq = r.Uvarint()
 		m = v
 	case TagReplHeartbeat:
 		m = ReplHeartbeat{From: int(r.Varint()), State: readVector(r)}
@@ -411,7 +447,46 @@ func DecodeMessage(data []byte) (Message, error) {
 	case TagEPaxosCommitAck:
 		m = EPaxosCommitAck{Inst: readInstanceID(r), From: r.String()}
 	case TagMigratedTx:
-		return nil, fmt.Errorf("%w: MigratedTx never crosses a process boundary", ErrMalformed)
+		v := MigratedTx{Origin: r.String()}
+		v.Actor = r.String()
+		v.Snapshot = readVector(r)
+		v.Name = r.String()
+		if b := r.Bytes(); len(b) > 0 {
+			v.Args = append([]byte(nil), b...)
+		}
+		v.Touches = readObjectIDs(r)
+		m = v
+	case TagBucketVec:
+		v := BucketVec{From: int(r.Varint())}
+		v.Seq = r.Uvarint()
+		v.Live = readStrings(r)
+		v.Pending = readStrings(r)
+		v.State = readVector(r)
+		m = v
+	case TagBackfillReq:
+		m = BackfillReq{Bucket: r.String(), At: readVector(r)}
+	case TagBackfillResp:
+		v := BackfillResp{Bucket: r.String()}
+		v.At = readVector(r)
+		n := r.Count(1)
+		if n > 0 {
+			v.Objects = make([]ObjectState, 0, n)
+			for i := 0; i < n; i++ {
+				st, err := readObjectState(r)
+				if err != nil {
+					return nil, err
+				}
+				v.Objects = append(v.Objects, st)
+			}
+		}
+		v.OK = r.Bool()
+		v.NotLive = r.Bool()
+		m = v
+	case TagBucketDrop:
+		v := BucketDrop{From: int(r.Varint())}
+		v.Seq = r.Uvarint()
+		v.Bucket = r.String()
+		m = v
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
 	}

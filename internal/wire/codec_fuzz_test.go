@@ -24,6 +24,12 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte{byte(TagNone)})
 	f.Add([]byte{})
 	f.Add([]byte{byte(TagReplBatch), 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	// Partial-replication frames: hostile counts and truncated bodies.
+	f.Add([]byte{byte(TagBucketVec), 0x02, 0x01, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{byte(TagBackfillReq), 0x04, 'r', 'o', 'o', 'm'})
+	f.Add([]byte{byte(TagBackfillResp), 0x00, 0x00, 0xff, 0xff, 0x0f})
+	f.Add([]byte{byte(TagBucketDrop), 0x02, 0x03})
+	f.Add([]byte{byte(TagMigratedTx), 0x01, 'e', 0x00, 0x00, 0xff, 0xff, 0x0f})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)

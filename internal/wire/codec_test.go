@@ -69,7 +69,7 @@ func goldenMessages() map[string]Message {
 	return map[string]Message{
 		"repl_tx": ReplTx{From: 1, Tx: sampleTx(), State: vclock.Vector{9, 8, 7}, SentAt: sentAt},
 		"repl_batch": ReplBatch{From: 2, Txs: []*txn.Transaction{sampleTx(), sampleTx()},
-			State: vclock.Vector{1, 2}, SentAt: sentAt},
+			State: vclock.Vector{1, 2}, SentAt: sentAt, WantSeq: 6},
 		"repl_heartbeat":  ReplHeartbeat{From: 0, State: vclock.Vector{10, 20, 30}},
 		"edge_commit":     EdgeCommit{Tx: sampleTx()},
 		"edge_commit_ack": EdgeCommitAck{Dot: vclock.Dot{Node: "edge-7", Seq: 42}, DCIndex: 2, Ts: 10, Stable: vclock.Vector{5, 5, 10}},
@@ -85,7 +85,16 @@ func goldenMessages() map[string]Message {
 		"fetch_object": FetchObject{ID: txn.ObjectID{Bucket: "docs", Key: "readme"}, At: vclock.Vector{3, 1, 4}},
 		"push_txs": PushTxs{From: "dc1", Txs: []*txn.Transaction{sampleTx()},
 			Stable: vclock.Vector{5, 5, 5}},
+		"migrated_tx": MigratedTx{Origin: "edge-7", Actor: "alice",
+			Snapshot: vclock.Vector{3, 1, 4}, Name: "recount", Args: []byte{0x01, 0x02},
+			Touches: []txn.ObjectID{{Bucket: "stats", Key: "edits"}, {Bucket: "docs", Key: "readme"}}},
 		"migrated_tx_ack": MigratedTxAck{Commit: vclock.CommitStamps{1: 17}, Err: "boom"},
+		"bucket_vec": BucketVec{From: 1, Seq: 9, Live: []string{"docs", "stats"},
+			Pending: []string{"rooms"}, State: vclock.Vector{4, 2, 0}},
+		"backfill_req": BackfillReq{Bucket: "rooms", At: vclock.Vector{3, 1, 4}},
+		"backfill_resp": BackfillResp{Bucket: "rooms", At: vclock.Vector{7, 0, 2},
+			Objects: []ObjectState{sampleObjectState()}, OK: true},
+		"bucket_drop": BucketDrop{From: 2, Seq: 5, Bucket: "stats"},
 		"tree_assign": TreeAssign{From: "dc1", Shard: 7, Epoch: 3,
 			Children: []string{"edge-2", "edge-3", "edge-4"}},
 		"tree_push": TreePush{From: "dc1", Shard: 7, Epoch: 3, Seq: 12,
@@ -197,6 +206,12 @@ func normalizeMessage(t *testing.T, m Message) any {
 			parts = append(parts, normalizeMessage(t, st).(string))
 		}
 		return strings.Join(parts, "||")
+	case BackfillResp:
+		parts := []string{fmt.Sprintf("%s|%v|%v", v.Bucket, v.At, v.OK)}
+		for _, st := range v.Objects {
+			parts = append(parts, normalizeMessage(t, st).(string))
+		}
+		return strings.Join(parts, "||")
 	default:
 		return m
 	}
@@ -246,12 +261,13 @@ func TestEncodeNilAndEmpty(t *testing.T) {
 	for _, zero := range []Message{
 		ReplTx{}, ReplBatch{}, ReplHeartbeat{}, EdgeCommit{}, EdgeCommitAck{},
 		EdgeCommitNack{}, Subscribe{}, SubscribeAck{}, Unsubscribe{},
-		ObjectState{}, FetchObject{}, PushTxs{}, MigratedTxAck{},
+		ObjectState{}, FetchObject{}, PushTxs{}, MigratedTx{}, MigratedTxAck{},
 		TreeAssign{}, TreePush{}, TreeAck{},
 		GroupJoinReq{}, GroupJoinAck{}, GroupLeaveReq{}, GroupMemberEvent{},
 		GroupPromote{}, GroupSyncReq{}, GroupSyncAck{}, GroupVisEntry{},
 		EPaxosPreAccept{}, EPaxosPreAcceptOK{}, EPaxosAccept{},
 		EPaxosAcceptOK{}, EPaxosCommit{}, EPaxosCommitAck{},
+		BucketVec{}, BackfillReq{}, BackfillResp{}, BucketDrop{},
 	} {
 		b, err := EncodeMessage(nil, zero)
 		if err != nil {
@@ -263,15 +279,47 @@ func TestEncodeNilAndEmpty(t *testing.T) {
 	}
 }
 
-// TestMigratedTxNotEncodable pins the documented hole in the protocol: the
-// mobile-code message cannot cross a process boundary.
-func TestMigratedTxNotEncodable(t *testing.T) {
-	_, err := EncodeMessage(nil, MigratedTx{Origin: "edge-1"})
-	if !errors.Is(err, ErrNotEncodable) {
+// TestMigratedTxClosureNotEncodable pins the remaining documented hole in the
+// protocol: a migrated transaction carrying a bare closure (no program name)
+// cannot cross a process boundary, while the named form can.
+func TestMigratedTxClosureNotEncodable(t *testing.T) {
+	bare := MigratedTx{Origin: "edge-1", Fn: func(TxReader, TxUpdater) error { return nil }}
+	if _, err := EncodeMessage(nil, bare); !errors.Is(err, ErrNotEncodable) {
 		t.Fatalf("err = %v, want ErrNotEncodable", err)
 	}
-	if _, err := DecodeMessage([]byte{byte(TagMigratedTx)}); err == nil {
-		t.Fatal("decoding a MigratedTx tag must fail")
+	// The same message with a program name encodes: the closure is dropped and
+	// the far side resolves the name through the registry.
+	bare.Name = "recount"
+	b, err := EncodeMessage(nil, bare)
+	if err != nil {
+		t.Fatalf("named form: %v", err)
+	}
+	m, err := DecodeMessage(b)
+	if err != nil {
+		t.Fatalf("decode named form: %v", err)
+	}
+	if got := m.(MigratedTx); got.Name != "recount" || got.Fn != nil {
+		t.Fatalf("decoded: %+v", got)
+	}
+}
+
+// TestProgramRegistry covers the named-program resolution path MigratedTx's
+// wire form relies on.
+func TestProgramRegistry(t *testing.T) {
+	if _, ok := LookupProgram("codec-test-nope"); ok {
+		t.Fatal("unregistered program resolved")
+	}
+	called := false
+	RegisterProgram("codec-test-prog", func(args []byte, read TxReader, update TxUpdater) error {
+		called = len(args) == 1 && args[0] == 0x7f
+		return nil
+	})
+	fn, ok := LookupProgram("codec-test-prog")
+	if !ok {
+		t.Fatal("registered program not found")
+	}
+	if err := fn([]byte{0x7f}, nil, nil); err != nil || !called {
+		t.Fatalf("program not executed with its args: err=%v called=%v", err, called)
 	}
 }
 

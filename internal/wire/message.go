@@ -47,6 +47,12 @@ const (
 	TagEPaxosAcceptOK    Tag = 29
 	TagEPaxosCommit      Tag = 30
 	TagEPaxosCommitAck   Tag = 31
+
+	// Partial replication (PR 10).
+	TagBucketVec    Tag = 32
+	TagBackfillReq  Tag = 33
+	TagBackfillResp Tag = 34
+	TagBucketDrop   Tag = 35
 )
 
 // Message unifies every wire message: a stable codec tag plus the logical
@@ -74,6 +80,7 @@ var _ = []Message{
 	GroupPromote{}, GroupSyncReq{}, GroupSyncAck{}, GroupVisEntry{},
 	EPaxosPreAccept{}, EPaxosPreAcceptOK{}, EPaxosAccept{},
 	EPaxosAcceptOK{}, EPaxosCommit{}, EPaxosCommitAck{},
+	BucketVec{}, BackfillReq{}, BackfillResp{}, BucketDrop{},
 }
 
 // Tag implements Message.
@@ -142,10 +149,9 @@ func (FetchObject) Units() int { return 1 }
 // Tag implements Message.
 func (PushTxs) Tag() Tag { return TagPushTxs }
 
-// Tag implements Message. MigratedTx is in the tag space (the protocol
-// reserves its slot) but has no binary encoding: its closure stands in for
-// the paper's mobile code and travels only in-process (see the codec's
-// ErrNotEncodable).
+// Tag implements Message. Only the named form (Name + Args + Touches) has a
+// binary encoding; a MigratedTx carrying a bare closure travels in-process
+// only (see the codec's ErrNotEncodable).
 func (MigratedTx) Tag() Tag { return TagMigratedTx }
 
 // Units implements Message.
@@ -270,3 +276,27 @@ func (EPaxosCommitAck) Tag() Tag { return TagEPaxosCommitAck }
 
 // Units implements Message.
 func (EPaxosCommitAck) Units() int { return 1 }
+
+// Tag implements Message.
+func (BucketVec) Tag() Tag { return TagBucketVec }
+
+// Units implements Message.
+func (BucketVec) Units() int { return 1 }
+
+// Tag implements Message.
+func (BackfillReq) Tag() Tag { return TagBackfillReq }
+
+// Units implements Message.
+func (BackfillReq) Units() int { return 1 }
+
+// Tag implements Message.
+func (BackfillResp) Tag() Tag { return TagBackfillResp }
+
+// Units implements Message.
+func (BackfillResp) Units() int { return 1 }
+
+// Tag implements Message.
+func (BucketDrop) Tag() Tag { return TagBucketDrop }
+
+// Units implements Message.
+func (BucketDrop) Units() int { return 1 }

@@ -1,0 +1,36 @@
+package wire
+
+import "sync"
+
+// Program is the body of a named migrated transaction: it reads and updates
+// objects through the executing DC's transactional callbacks, parameterised
+// by the opaque argument bytes the edge shipped in MigratedTx.Args.
+type Program func(args []byte, read TxReader, update TxUpdater) error
+
+var (
+	progMu   sync.RWMutex
+	programs = map[string]Program{}
+)
+
+// RegisterProgram installs a named migrated-transaction program. Both the
+// shipping edge and the executing DC must register the same name (typically
+// from an init function in shared application code) — only the name and
+// argument bytes cross the wire. Re-registering a name replaces the previous
+// program.
+func RegisterProgram(name string, fn Program) {
+	if name == "" || fn == nil {
+		panic("wire: RegisterProgram requires a name and a program")
+	}
+	progMu.Lock()
+	programs[name] = fn
+	progMu.Unlock()
+}
+
+// LookupProgram resolves a registered program by name; ok is false when no
+// program with that name is registered at this process.
+func LookupProgram(name string) (Program, bool) {
+	progMu.RLock()
+	fn, ok := programs[name]
+	progMu.RUnlock()
+	return fn, ok
+}

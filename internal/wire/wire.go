@@ -42,17 +42,101 @@ type ReplBatch struct {
 	Txs    []*txn.Transaction
 	State  vclock.Vector
 	SentAt time.Time
+	// WantSeq is the version of the *destination's* bucket interest set the
+	// sender scoped this batch with (see BucketVec.Seq). Zero means the batch
+	// was not scoped at all — every transaction carries its full update
+	// payload — which is always safe to admit. A partially-replicating
+	// receiver drops batches whose WantSeq predates its latest bucket
+	// addition: such a batch may have stubbed a bucket that is now wanted,
+	// and admitting it would advance the state vector past effects the
+	// receiver never gets. Anti-entropy re-covers dropped batches once the
+	// sender learns the new interest set.
+	WantSeq uint64
 }
 
 // Units reports the number of logical messages the batch stands for, for the
-// network substrate's batch-delivery accounting.
-func (b ReplBatch) Units() int { return len(b.Txs) }
+// network substrate's batch-delivery accounting. Under partial replication
+// stubs — transactions whose update payload was stripped because the
+// destination does not hold their buckets — cost no WAN units beyond the
+// batch itself: only payload-bearing transactions count, with a floor of one
+// for the frame.
+func (b ReplBatch) Units() int {
+	n := 0
+	for _, t := range b.Txs {
+		if t != nil && len(t.Updates) > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
 
 // ReplHeartbeat advertises a DC's state vector when there is no traffic, so
 // K-stability keeps advancing.
 type ReplHeartbeat struct {
 	From  int
 	State vclock.Vector
+}
+
+// BucketVec advertises a DC's bucket interest set for partial replication:
+// which buckets it holds live (serving reads, counting toward per-bucket
+// stability), which it is still backfilling (pending — peers should already
+// send full payloads, but the bucket does not serve reads or count toward
+// stability yet), and its current state vector. Seq versions the set: it is
+// bumped on every change, and peers keep only the highest-Seq view per DC.
+// Broadcast on every change and periodically from the heartbeat loop; also
+// used as the Call reply to a BucketVec probe, so a joining DC can learn a
+// peer's true interest set before deciding where to backfill from. A DC from
+// which no BucketVec has ever been seen is treated as universal (holding every
+// bucket): over-sending payloads to it is safe, merely unscoped.
+type BucketVec struct {
+	From    int
+	Seq     uint64
+	Live    []string
+	Pending []string
+	State   vclock.Vector
+}
+
+// BackfillReq asks a peer DC to materialise every object of one bucket at a
+// consistent cut covering at least At (the requester's state when it marked
+// the bucket pending). Sent as a Call; the reply is BackfillResp. The serving
+// replica answers at its *own* current state — any consistent cut ≥ At works,
+// because the requester journals concurrent full-payload transactions while
+// pending and re-attaches them above the seeded base.
+type BackfillReq struct {
+	Bucket string
+	At     vclock.Vector
+}
+
+// BackfillResp returns the materialised contents of one bucket. At is the
+// consistent cut the objects were materialised at (the server's state vector
+// at serve time). OK is false when the server cannot serve — it does not hold
+// the bucket live, or its state does not yet cover the requested cut — and
+// the requester should retry elsewhere or later.
+type BackfillResp struct {
+	Bucket  string
+	At      vclock.Vector
+	Objects []ObjectState
+	OK      bool
+	// NotLive distinguishes the two refusals: true means the serving DC does
+	// not hold the bucket live at all (a requester hearing this from every
+	// replica candidate may treat the bucket as genesis-empty); false with
+	// OK unset means the server merely hasn't caught up to the requested
+	// cut yet — a transient refusal worth retrying.
+	NotLive bool
+}
+
+// BucketDrop announces that a DC has unsubscribed from a bucket and evicted
+// its objects: peers must stop counting it toward the bucket's K-stability
+// and stop expecting it to serve backfills. Seq is the sender's bucket-set
+// version after the drop (same counter BucketVec carries); stale
+// announcements are ignored.
+type BucketDrop struct {
+	From   int
+	Seq    uint64
+	Bucket string
 }
 
 // --- edge ↔ DC ---
@@ -248,15 +332,26 @@ type TxReader func(id txn.ObjectID) (crdt.Object, error)
 type TxUpdater func(id txn.ObjectID, kind crdt.Kind, op crdt.Op) error
 
 // MigratedTx ships a resource-hungry transaction to the core cloud for
-// execution (paper §3.9). The closure stands in for the paper's mobile code;
-// shipping real code is a transport concern orthogonal to the protocol.
-// Snapshot primes the transaction with the client's state vector; the DC
-// must have received the client's own transactions first.
+// execution (paper §3.9). Snapshot primes the transaction with the client's
+// state vector; the DC must have received the client's own transactions
+// first.
+//
+// Two program forms exist. The in-process form sets Fn directly — a closure
+// standing in for the paper's mobile code — and cannot cross a real wire.
+// The named form sets Name (+ opaque Args), resolved at the executing DC via
+// the program registry (RegisterProgram); it has a binary encoding and works
+// across the TCP mesh. Touches lists the objects the program will access, so
+// a partially-replicating DC can backfill those buckets before running it —
+// the migrating user's interest set travels with the transaction. A message
+// with both set prefers Fn locally but encodes only the named form.
 type MigratedTx struct {
 	Origin   string
 	Actor    string
 	Snapshot vclock.Vector
 	Fn       func(read TxReader, update TxUpdater) error
+	Name     string
+	Args     []byte
+	Touches  []txn.ObjectID
 }
 
 // MigratedTxAck reports the outcome of a migrated transaction.
