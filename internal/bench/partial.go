@@ -140,7 +140,7 @@ func RunPartial(cfg PartialConfig, progress func(string)) (PartialResult, error)
 			czipf[i] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(coldOf[i])-1))
 		}
 	}
-	perDC := make([][]int, numDCs) // DC → bucket index per commit
+	perDC := make([][]int, numDCs)  // DC → bucket index per commit
 	expected := make(map[int]int64) // bucket index → expected counter total
 	for i := 0; i < cfg.Commits; i++ {
 		at := i % numDCs

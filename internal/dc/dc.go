@@ -757,7 +757,12 @@ func (d *DC) handle(from string, msg any) any {
 		return d.serveBackfill(m)
 	case wire.BucketDrop:
 		d.mesh.DropBucket(m.From, m.Seq, m.Bucket)
+		// The dropper confirmed a survivor before evicting; if it was us, the
+		// pin has served its purpose.
+		d.releaseDropPin(m.From, m.Bucket)
 		return nil
+	case wire.DropQuery:
+		return d.handleDropQuery(m)
 	default:
 		return nil
 	}
@@ -1139,15 +1144,38 @@ func (d *DC) receiveReplicated(m wire.ReplBatch) {
 // subscribe registers or extends an interest set and returns base versions
 // of the requested objects at the subscriber's stable cut.
 func (d *DC) subscribe(m wire.Subscribe) any {
-	if d.partial {
-		// The requested buckets must be live here before interest registers:
-		// serving a seed for a bucket this DC does not hold would hand the
-		// subscriber "empty at cut" for state that exists elsewhere. A failed
-		// backfill fails the subscribe; the edge retries.
-		if err := d.EnsureBuckets(bucketsOfIDs(m.Objects)...); err != nil {
-			return nil
+	buckets := bucketsOfIDs(m.Objects)
+	for attempt := 0; ; attempt++ {
+		if d.partial {
+			// The requested buckets must be live here before interest
+			// registers: serving a seed for a bucket this DC does not hold
+			// would hand the subscriber "empty at cut" for state that exists
+			// elsewhere. A failed backfill fails the subscribe; the edge
+			// retries.
+			if err := d.EnsureBuckets(buckets...); err != nil {
+				return nil
+			}
+		}
+		ack := d.subscribeRegister(m)
+		// Re-validate liveness *after* the interest registered: a DropBucket
+		// racing between the ensure above and the registration tombstones the
+		// bucket and evicts the seed we just materialised. Now that the
+		// interest is on record, the drop's atomic veto (same d.mu the
+		// registration held) refuses any further drop, so one re-ensure —
+		// which waits out the trailing eviction and re-backfills — settles it.
+		if !d.partial || d.bucketsLive(buckets) {
+			return ack
+		}
+		if attempt >= 3 {
+			return nil // persistent churn; let the edge retry from scratch
 		}
 	}
+}
+
+// subscribeRegister is subscribe's registration critical section: it installs
+// or extends the subscription, registers interest, and materialises the seed,
+// all under d.mu.
+func (d *DC) subscribeRegister(m wire.Subscribe) any {
 	d.mu.Lock()
 	sub := d.subs[m.Node]
 	if sub == nil {

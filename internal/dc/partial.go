@@ -64,7 +64,24 @@ type bucketState struct {
 	ready chan struct{}
 	// err records a failed backfill for the waiters on ready.
 	err error
+	// pins records peers this DC has voted Hold for in a DropQuery, with the
+	// lease expiry: a pinned bucket refuses to drop until the pinner's
+	// BucketDrop arrives (or the lease expires, covering a dropper that died
+	// mid-drop). The pin is what makes the drop protocol's survivor
+	// confirmation atomic enough: the confirmed survivor cannot itself drop
+	// between its vote and the asker's eviction.
+	pins map[int]time.Time
+	// evicting is non-nil from the moment a drop flips the bucket to
+	// tombstoned until its objects are actually evicted from the store; a
+	// concurrent ensureBucket waits on it so a fresh backfill can never be
+	// clobbered by the trailing eviction of the previous incarnation.
+	evicting chan struct{}
 }
+
+// dropPinTTL bounds a DropQuery Hold vote: a dropper that confirmed this DC
+// as the surviving replica but then died never sends its BucketDrop, and the
+// pin must not veto local drops forever.
+const dropPinTTL = 30 * time.Second
 
 // ensurePartialLocked initialises the partial-replication state; called from
 // New (cfg validation already done).
@@ -92,6 +109,25 @@ func (d *DC) bucketResident(bucket string) bool {
 	defer d.bmu.Unlock()
 	st := d.buckets[bucket]
 	return st != nil && st.status == bucketLive
+}
+
+// bucketsLive reports whether every named bucket is currently live here.
+// Subscribe uses it to re-validate after registering interest: a drop that
+// raced the registration leaves the bucket tombstoned, and the seed just
+// materialised for the subscriber is stale.
+func (d *DC) bucketsLive(buckets []string) bool {
+	if !d.partial {
+		return true
+	}
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	for _, b := range buckets {
+		st := d.buckets[b]
+		if st == nil || st.status != bucketLive {
+			return false
+		}
+	}
+	return true
 }
 
 // publishBucketsLocked pushes the local interest set into the mesh's view
@@ -191,6 +227,15 @@ func (d *DC) ensureBucket(bucket string) error {
 		d.bmu.Unlock()
 		return err
 	}
+	if st != nil && st.evicting != nil {
+		// A drop tombstoned the bucket but its store eviction is still in
+		// flight; wait it out before backfilling, or the trailing eviction
+		// would wipe the freshly seeded objects.
+		ch := st.evicting
+		d.bmu.Unlock()
+		<-ch
+		return d.ensureBucket(bucket)
+	}
 	// Absent or tombstoned: this call owns the backfill. Mark pending and
 	// bump the interest-set version *before* reading the state vector — the
 	// floor bump guarantees any batch scoped against the older set (which may
@@ -232,16 +277,38 @@ func (d *DC) ensureBucket(bucket string) error {
 // ≤ C_min, so any serving cut ≥ C_min re-covers them all. Full-payload
 // transactions that arrive while pending are recorded (not materialised) and
 // re-attach above the seed when Seed runs.
+//
+// The seed is installed at resp.At — the *server's* state at serve time,
+// which may run ahead of this DC's own state vector and of any transaction
+// snapshot opened before the ensure. This deliberately weakens snapshot
+// isolation for freshly backfilled buckets: a transaction whose snapshot
+// predates the seed cut reads the backfilled bucket at the seed cut (the
+// only consistent state the DC holds for it) while reading other buckets at
+// its snapshot. The anomaly is read-only, forward in time, and confined to
+// the first reads after a subscribe; edge-facing seeds advertise the lifted
+// cut (seedCutFor), so the push path never double-applies. The alternative —
+// blocking reads until the local state vector covers the seed cut — trades
+// read availability at exactly the moment a subscriber is waiting for its
+// seed. See DESIGN.md §4h.
 func (d *DC) backfillBucket(bucket string, st *bucketState) error {
 	cMin := d.State()
-	candidates := d.backfillCandidates(bucket)
-	if len(candidates) == 0 {
-		// Genesis: nobody holds the bucket, so it is empty everywhere and the
-		// bucket goes live with no seed.
-		return nil
-	}
 	const rounds = 20
+	// A bucket may only be declared genesis-empty (live with no seed) after
+	// the "no live holder anywhere" verdict has held for this many consecutive
+	// rounds, each preceded by a direct BucketVec probe of every peer. One
+	// stale gossip round is not evidence: a real holder whose advertisement
+	// adding the bucket has not arrived yet is invisible to the candidate
+	// list, and bootstrapping over it would ghost-write an empty bucket over
+	// committed effects (the stubs this DC admitted for it would never be
+	// recovered — its state vector already covers them). The synchronous probe
+	// refreshes every reachable peer's view before each re-list, so a live
+	// holder is found unless it is partitioned away for all confirm rounds.
+	const genesisConfirm = 3
+	genesisRounds := 0
 	for i := 0; i < rounds; i++ {
+		// Re-list candidates every round: gossip (and the probes below) may
+		// have surfaced a holder that was invisible when the loop started.
+		candidates := d.backfillCandidates(bucket)
 		notLive := 0
 		for _, peer := range candidates {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -272,26 +339,56 @@ func (d *DC) backfillBucket(bucket string, st *bucketState) error {
 			d.bmu.Unlock()
 			return nil
 		}
-		// Every candidate answered "not live here": the bucket has never been
-		// written anywhere reachable (a bucket with effects always has a live
-		// holder — DropBucket vetoes the last copy), so treat it as genesis:
-		// empty everywhere, live with no seed. Partial peers with no BucketVec
-		// seen yet are asked like everyone else and answer NotLive
-		// truthfully, so a fresh all-partial mesh can still create its first
-		// bucket. View staleness could in principle hide a live holder for a
-		// round; the round loop re-lists candidates as gossip converges, and
-		// the drop veto makes a holderless bucket-with-effects unreachable.
+		// No candidate at all, or every candidate answered "not live here":
+		// possibly genesis — a bucket that has never been written anywhere (a
+		// bucket with effects always has a live holder; DropBucket's confirmed
+		// survivor makes a holderless bucket-with-effects unreachable).
+		// Partial peers with no BucketVec seen yet are asked like everyone
+		// else and answer NotLive truthfully, so a fresh all-partial mesh can
+		// still create its first bucket — it just pays genesisConfirm probe
+		// rounds for it.
 		if notLive == len(candidates) {
-			return nil
+			genesisRounds++
+			if genesisRounds >= genesisConfirm {
+				return nil
+			}
+			d.probeBucketViews()
+			continue
 		}
-		// Otherwise some candidate is merely lagging behind C_min; let
-		// replication make progress and retry.
+		// Some candidate is merely lagging behind C_min; let replication make
+		// progress and retry.
+		genesisRounds = 0
 		time.Sleep(10 * time.Millisecond)
-		if i == rounds/2 {
-			candidates = d.backfillCandidates(bucket) // membership may have moved
-		}
 	}
 	return fmt.Errorf("no replica could serve a cut covering %v", cMin)
+}
+
+// probeBucketViews synchronously refreshes the mesh's view of every peer's
+// interest set: a BucketVec Call carries our advertisement and returns the
+// peer's current one, bypassing however stale best-effort gossip has left
+// the view. Fully replicating peers reply nil — they are universal in the
+// view already. Unreachable peers are skipped; their staleness is bounded by
+// the caller's confirm rounds.
+func (d *DC) probeBucketViews() {
+	msg := d.bucketVec()
+	d.mu.Lock()
+	peers := make([]string, 0, len(d.peers))
+	for _, p := range d.peers {
+		peers = append(peers, p)
+	}
+	d.mu.Unlock()
+	for _, p := range peers {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		reply, err := d.node.Call(ctx, p, msg)
+		cancel()
+		if err != nil {
+			continue
+		}
+		if bv, ok := reply.(wire.BucketVec); ok {
+			d.mesh.SetBuckets(bv.From, bv.Seq, bv.Live, bv.Pending)
+			d.mesh.ObservePeer(bv.From, bv.State)
+		}
+	}
 }
 
 // backfillCandidates lists the network names of peers believed to hold the
@@ -341,13 +438,50 @@ func (d *DC) serveBackfill(m wire.BackfillReq) any {
 // DropBucket unsubscribes this DC from a bucket: its objects are evicted and
 // the bucket is tombstoned (reads refuse until a re-ensure backfills it).
 // The drop is refused while any local subscriber still has interest in the
-// bucket or while no other live replica exists — dropping the last copy
-// would lose the bucket. Peers are told via BucketDrop so the bucket's
-// stability stops counting this DC immediately.
+// bucket, while no other replica *synchronously confirms* it holds the bucket
+// live (the gossip view alone over-counts: universal peers may hold nothing,
+// and two holders sweeping the same cold bucket concurrently would each see
+// the other live and both drop, losing the last copies), or while a peer's
+// own drop has pinned this DC as its confirmed survivor. The subscriber
+// check and the status flip happen atomically under d.mu — a concurrent
+// subscribe() either registers its interest first (and vetoes the drop) or
+// finds the bucket tombstoned when it re-validates after registering, and
+// re-backfills. Peers are told via BucketDrop so the bucket's stability stops
+// counting this DC immediately.
 func (d *DC) DropBucket(bucket string) error {
 	if !d.partial {
 		return fmt.Errorf("dc %s: not partially replicating", d.cfg.Name)
 	}
+	d.bmu.Lock()
+	st := d.buckets[bucket]
+	if st == nil || st.status != bucketLive {
+		d.bmu.Unlock()
+		return fmt.Errorf("dc %s: bucket %s not live", d.cfg.Name, bucket)
+	}
+	d.bmu.Unlock()
+	if sub := d.subscriberInterestIn(bucket); sub != "" {
+		// Cheap pre-check so the common veto never pins peers; the
+		// authoritative re-check below is atomic with the flip.
+		return fmt.Errorf("dc %s: bucket %s still has subscriber interest (%s)", d.cfg.Name, bucket, sub)
+	}
+
+	// Confirm a surviving replica before touching anything: a Hold vote pins
+	// the bucket at the voter until our BucketDrop arrives, so the survivor
+	// cannot itself drop out from under us. Blocking network calls — no locks
+	// held. Every abort past this point must release the pins it placed.
+	if err := d.confirmSurvivor(bucket); err != nil {
+		return fmt.Errorf("dc %s: %w", d.cfg.Name, err)
+	}
+	abort := func() {
+		msg := wire.DropQuery{From: d.cfg.Index, Bucket: bucket, Release: true}
+		for _, peer := range d.backfillCandidates(bucket) {
+			_ = d.node.Send(peer, msg) // best effort; the lease TTL backstops
+		}
+	}
+
+	// Atomic veto + flip: interest check and tombstoning under one d.mu
+	// critical section (bmu nests inside; subscribe() registers interest under
+	// d.mu too, so the two serialise).
 	d.mu.Lock()
 	for _, sub := range d.subs {
 		sub.outMu.Lock()
@@ -355,6 +489,7 @@ func (d *DC) DropBucket(bucket string) error {
 			if id.Bucket == bucket {
 				sub.outMu.Unlock()
 				d.mu.Unlock()
+				abort()
 				return fmt.Errorf("dc %s: bucket %s still has subscriber interest (%s)", d.cfg.Name, bucket, sub.node)
 			}
 		}
@@ -364,39 +499,126 @@ func (d *DC) DropBucket(bucket string) error {
 	for _, p := range d.peers {
 		peers = append(peers, p)
 	}
-	d.mu.Unlock()
-
-	others := 0
-	for _, idx := range d.mesh.Replicas(bucket) {
-		if idx != d.cfg.Index {
-			others++
-		}
-	}
-	if others == 0 {
-		return fmt.Errorf("dc %s: refusing to drop last replica of %s", d.cfg.Name, bucket)
-	}
-
 	d.bmu.Lock()
-	st := d.buckets[bucket]
+	st = d.buckets[bucket]
 	if st == nil || st.status != bucketLive {
 		d.bmu.Unlock()
+		d.mu.Unlock()
+		abort()
 		return fmt.Errorf("dc %s: bucket %s not live", d.cfg.Name, bucket)
+	}
+	now := time.Now()
+	for pinner, until := range st.pins {
+		if now.Before(until) {
+			d.bmu.Unlock()
+			d.mu.Unlock()
+			abort()
+			return fmt.Errorf("dc %s: bucket %s pinned as dc %d's drop survivor", d.cfg.Name, bucket, pinner)
+		}
 	}
 	st.status = bucketDropped
 	st.cut = nil
+	st.pins = nil
+	st.evicting = make(chan struct{})
 	d.bucketSeq++ // a removal: wantFloor stays (removals cannot lose effects)
 	seq := d.bucketSeq
 	d.publishBucketsLocked()
 	d.bmu.Unlock()
+	d.mu.Unlock()
 
-	n := d.coord.EvictBucket(bucket)
+	d.coord.EvictBucket(bucket)
 	d.obsEvictions.Inc()
-	_ = n
+	d.bmu.Lock()
+	ch := st.evicting
+	st.evicting = nil
+	d.bmu.Unlock()
+	close(ch) // waiting ensures (re-subscribes) may backfill now
 	msg := wire.BucketDrop{From: d.cfg.Index, Seq: seq, Bucket: bucket}
 	for _, p := range peers {
 		_ = d.node.Send(p, msg)
 	}
 	return nil
+}
+
+// subscriberInterestIn returns the node name of a subscriber with registered
+// interest in the bucket, or "" when none has any.
+func (d *DC) subscriberInterestIn(bucket string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, sub := range d.subs {
+		sub.outMu.Lock()
+		for id := range sub.interest {
+			if id.Bucket == bucket {
+				sub.outMu.Unlock()
+				return sub.node
+			}
+		}
+		sub.outMu.Unlock()
+	}
+	return ""
+}
+
+// confirmSurvivor asks the replicas believed to hold a bucket live whether
+// one of them really does, returning nil once a peer votes Hold (and has
+// pinned the bucket for us). Universal peers that actually hold nothing vote
+// false; fully replicating DCs always vote true (they never drop). No vote at
+// all — every candidate unreachable, lagging, or not actually live — refuses
+// the drop: this DC may hold the last copy.
+func (d *DC) confirmSurvivor(bucket string) error {
+	for _, peer := range d.backfillCandidates(bucket) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		reply, err := d.node.Call(ctx, peer, wire.DropQuery{From: d.cfg.Index, Bucket: bucket})
+		cancel()
+		if err != nil {
+			continue
+		}
+		if v, ok := reply.(wire.DropVote); ok && v.Hold {
+			return nil
+		}
+	}
+	return fmt.Errorf("no live replica confirmed holding %s: refusing to drop what may be the last copy", bucket)
+}
+
+// handleDropQuery answers a peer's survivor confirmation. Voting Hold pins
+// the bucket against our own drop until the asker's BucketDrop arrives (or
+// the lease expires), so a confirmed survivor stays one. Two holders sweeping
+// the same bucket concurrently thus pin each other and both refuse — safe,
+// and the next sweep retries after the pins clear.
+func (d *DC) handleDropQuery(m wire.DropQuery) any {
+	if m.Release {
+		// The asker's drop aborted after confirmation; clear its pin instead
+		// of waiting out the lease.
+		d.releaseDropPin(m.From, m.Bucket)
+		return nil
+	}
+	if !d.partial {
+		// Fully replicating: holds everything, drops nothing. No pin needed.
+		return wire.DropVote{Bucket: m.Bucket, Hold: true}
+	}
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	st := d.buckets[m.Bucket]
+	if st == nil || st.status != bucketLive {
+		return wire.DropVote{Bucket: m.Bucket, Hold: false}
+	}
+	if st.pins == nil {
+		st.pins = make(map[int]time.Time)
+	}
+	st.pins[m.From] = time.Now().Add(dropPinTTL)
+	return wire.DropVote{Bucket: m.Bucket, Hold: true}
+}
+
+// releaseDropPin clears a peer's survivor pin once its BucketDrop announces
+// the drop completed; this DC's own sweep may consider the bucket again.
+func (d *DC) releaseDropPin(from int, bucket string) {
+	if !d.partial {
+		return
+	}
+	d.bmu.Lock()
+	if st := d.buckets[bucket]; st != nil {
+		delete(st.pins, from)
+	}
+	d.bmu.Unlock()
 }
 
 // sweepIdleBuckets evicts live buckets untouched for cfg.EvictAfter,

@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"colony/internal/obs"
 	"colony/internal/simnet"
 	"colony/internal/txn"
+	"colony/internal/wire"
 )
 
 // partialCluster builds n partially replicating DCs, with per-DC boot
@@ -276,6 +278,84 @@ func TestPartialDropGuards(t *testing.T) {
 	}, nil)
 	if err := dcs[0].DropBucket("solo"); err == nil {
 		t.Fatal("dropping the last replica must fail")
+	}
+}
+
+// TestPartialConcurrentDropLastCopies: two DCs holding the only copies of a
+// bucket sweep it concurrently. Each must synchronously confirm a surviving
+// replica (a DropVote that pins the voter), so at most one drop can succeed
+// — under the old gossip-view-only veto both saw the other live and both
+// dropped, losing the last copies. Run under -race via make ci.
+func TestPartialConcurrentDropLastCopies(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"cold"},
+		1: {"cold"},
+		2: {},
+	}, nil)
+
+	id := txn.ObjectID{Bucket: "cold", Key: "k"}
+	tx := dcs[0].Begin("w")
+	tx.Update(id, crdt.KindCounter, crdt.Op{Counter: &crdt.CounterOp{Delta: 7}})
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, dcs[0], id, 7)
+	waitCounter(t, dcs[1], id, 7)
+
+	// Repeat the race a few times: each round both holders try to drop at
+	// once; whatever survives re-ensures for the next round.
+	for round := 0; round < 5; round++ {
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = dcs[i].DropBucket("cold")
+			}(i)
+		}
+		wg.Wait()
+		if errs[0] == nil && errs[1] == nil {
+			t.Fatalf("round %d: both last-copy holders dropped concurrently", round)
+		}
+		// At least one copy must have survived with the full state: any DC can
+		// re-ensure and read the counter.
+		for i := 0; i < 2; i++ {
+			if err := dcs[i].EnsureBuckets("cold"); err != nil {
+				t.Fatalf("round %d: re-ensure at dc%d: %v", round, i, err)
+			}
+			waitCounter(t, dcs[i], id, 7)
+		}
+	}
+}
+
+// TestPartialDropSubscriberVeto: a bucket with registered edge-subscriber
+// interest refuses to drop — the subscriber would silently degrade to
+// stub-only delivery.
+func TestPartialDropSubscriberVeto(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	dcs := partialCluster(t, net, 3, 2, map[int][]string{
+		0: {"s"},
+		1: {"s"},
+		2: {},
+	}, nil)
+
+	edge := net.AddNode("edgeA", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	id := txn.ObjectID{Bucket: "s", Key: "k"}
+	if _, err := edge.Call(ctx, "dc0", wire.Subscribe{Node: "edgeA", Objects: []txn.ObjectID{id}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dcs[0].DropBucket("s"); err == nil {
+		t.Fatal("drop must refuse while a subscriber holds interest in the bucket")
+	}
+	// The uninterested holder can still drop (dc0 remains as its survivor).
+	if err := dcs[1].DropBucket("s"); err != nil {
+		t.Fatalf("drop at the interest-free holder: %v", err)
 	}
 }
 

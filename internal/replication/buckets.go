@@ -47,12 +47,20 @@ func (m *Mesh) SetBuckets(dc int, seq uint64, live, pending []string) bool {
 }
 
 // DropBucket removes one bucket from a DC's view at version seq, without
-// needing the full set re-advertised. Stale announcements are ignored.
+// needing the full set re-advertised. The delta applies only when it is
+// contiguous with the recorded view (seq == recorded seq + 1): a gap means an
+// intermediate advertisement — possibly a bucket *addition* — was lost in
+// best-effort gossip, and fast-forwarding the seq over it would stamp this
+// view current while missing a live bucket. A sender scoping against such a
+// view would stub that bucket with a WantSeq the receiver accepts, silently
+// losing effects. Non-contiguous (and stale) drops are therefore ignored;
+// the periodic full BucketVec gossip re-syncs the view, which SetBuckets
+// accepts at any forward seq because it carries the complete sets.
 func (m *Mesh) DropBucket(dc int, seq uint64, bucket string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	v := m.buckets[dc]
-	if v == nil || seq <= v.seq {
+	if v == nil || seq != v.seq+1 {
 		return false
 	}
 	v.seq = seq

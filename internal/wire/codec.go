@@ -259,6 +259,13 @@ func EncodeMessage(buf []byte, m Message) ([]byte, error) {
 		buf = bin.AppendVarint(buf, int64(v.From))
 		buf = bin.AppendUvarint(buf, v.Seq)
 		return bin.AppendString(buf, v.Bucket), nil
+	case DropQuery:
+		buf = bin.AppendVarint(buf, int64(v.From))
+		buf = bin.AppendString(buf, v.Bucket)
+		return bin.AppendBool(buf, v.Release), nil
+	case DropVote:
+		buf = bin.AppendString(buf, v.Bucket)
+		return bin.AppendBool(buf, v.Hold), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrNotEncodable, m)
 	}
@@ -487,6 +494,10 @@ func DecodeMessage(data []byte) (Message, error) {
 		v.Seq = r.Uvarint()
 		v.Bucket = r.String()
 		m = v
+	case TagDropQuery:
+		m = DropQuery{From: int(r.Varint()), Bucket: r.String(), Release: r.Bool()}
+	case TagDropVote:
+		m = DropVote{Bucket: r.String(), Hold: r.Bool()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
 	}

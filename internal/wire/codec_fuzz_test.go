@@ -29,6 +29,8 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add([]byte{byte(TagBackfillReq), 0x04, 'r', 'o', 'o', 'm'})
 	f.Add([]byte{byte(TagBackfillResp), 0x00, 0x00, 0xff, 0xff, 0x0f})
 	f.Add([]byte{byte(TagBucketDrop), 0x02, 0x03})
+	f.Add([]byte{byte(TagDropQuery), 0x02, 0x01, 'b', 0x00})
+	f.Add([]byte{byte(TagDropVote), 0x01, 'b', 0x01})
 	f.Add([]byte{byte(TagMigratedTx), 0x01, 'e', 0x00, 0x00, 0xff, 0xff, 0x0f})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -95,6 +95,8 @@ func goldenMessages() map[string]Message {
 		"backfill_resp": BackfillResp{Bucket: "rooms", At: vclock.Vector{7, 0, 2},
 			Objects: []ObjectState{sampleObjectState()}, OK: true},
 		"bucket_drop": BucketDrop{From: 2, Seq: 5, Bucket: "stats"},
+		"drop_query":  DropQuery{From: 1, Bucket: "stats"},
+		"drop_vote":   DropVote{Bucket: "stats", Hold: true},
 		"tree_assign": TreeAssign{From: "dc1", Shard: 7, Epoch: 3,
 			Children: []string{"edge-2", "edge-3", "edge-4"}},
 		"tree_push": TreePush{From: "dc1", Shard: 7, Epoch: 3, Seq: 12,
@@ -268,6 +270,7 @@ func TestEncodeNilAndEmpty(t *testing.T) {
 		EPaxosPreAccept{}, EPaxosPreAcceptOK{}, EPaxosAccept{},
 		EPaxosAcceptOK{}, EPaxosCommit{}, EPaxosCommitAck{},
 		BucketVec{}, BackfillReq{}, BackfillResp{}, BucketDrop{},
+		DropQuery{}, DropVote{},
 	} {
 		b, err := EncodeMessage(nil, zero)
 		if err != nil {

@@ -53,6 +53,8 @@ const (
 	TagBackfillReq  Tag = 33
 	TagBackfillResp Tag = 34
 	TagBucketDrop   Tag = 35
+	TagDropQuery    Tag = 36
+	TagDropVote     Tag = 37
 )
 
 // Message unifies every wire message: a stable codec tag plus the logical
@@ -81,6 +83,7 @@ var _ = []Message{
 	EPaxosPreAccept{}, EPaxosPreAcceptOK{}, EPaxosAccept{},
 	EPaxosAcceptOK{}, EPaxosCommit{}, EPaxosCommitAck{},
 	BucketVec{}, BackfillReq{}, BackfillResp{}, BucketDrop{},
+	DropQuery{}, DropVote{},
 }
 
 // Tag implements Message.
@@ -300,3 +303,15 @@ func (BucketDrop) Tag() Tag { return TagBucketDrop }
 
 // Units implements Message.
 func (BucketDrop) Units() int { return 1 }
+
+// Tag implements Message.
+func (DropQuery) Tag() Tag { return TagDropQuery }
+
+// Units implements Message.
+func (DropQuery) Units() int { return 1 }
+
+// Tag implements Message.
+func (DropVote) Tag() Tag { return TagDropVote }
+
+// Units implements Message.
+func (DropVote) Units() int { return 1 }
